@@ -1,0 +1,115 @@
+"""Extended algorithm comparison (beyond the paper's three-way Table IV).
+
+Runs the full optimiser zoo — the paper's NSGA-II / CellDE / AEDB-MLS
+plus the extension MOEAs (MOCell, SPEA2, PAES) — on the sparsest density
+and applies the modern comparison workflow the stats extension provides:
+
+1. Friedman omnibus test per indicator ("do the six differ at all?"),
+   with Iman-Davenport correction;
+2. Holm-corrected pairwise post-hoc verdicts for AEDB-MLS against every
+   other algorithm;
+3. Vargha-Delaney A12 effect sizes alongside the p-values, so
+   "significant" and "large" stay distinguishable.
+
+This situates the paper's comparison in the wider toolbox: the
+qualitative claims (cellular family strongest on accuracy; MLS
+competitive on spread; single-trajectory PAES weakest) become testable
+statements at paper scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import build_density_artifacts, run_campaign
+from repro.stats import friedman_test, holm_bonferroni, rank_sum_test, vargha_delaney_a12
+
+ZOO = ("NSGAII", "CellDE", "MOCell", "SPEA2", "PAES", "AEDB-MLS")
+DENSITY = 100
+
+#: Whether larger sample values are better, per indicator.
+HIGHER_IS_BETTER = {"spread": False, "igd": False, "hypervolume": True}
+
+
+@pytest.fixture(scope="module")
+def zoo_artifacts(request):
+    scale = request.getfixturevalue("scale")
+    campaigns = {
+        name: run_campaign(name, DENSITY, scale=scale) for name in ZOO
+    }
+    return build_density_artifacts(
+        campaigns, DENSITY, archive_capacity=scale.archive_capacity
+    )
+
+
+def _finite_matrix(artifacts, metric):
+    """(runs, algorithms) sample matrix with inf clipped to a worst cap."""
+    columns = []
+    for name in ZOO:
+        samples = np.asarray(
+            artifacts.indicators[name].as_mapping()[metric], dtype=float
+        )
+        columns.append(samples)
+    matrix = np.vstack(columns).T
+    finite_max = np.nanmax(np.where(np.isfinite(matrix), matrix, np.nan))
+    return np.where(np.isfinite(matrix), matrix, finite_max * 2.0 + 1.0)
+
+
+def test_extended_comparison(benchmark, zoo_artifacts, scale, emit):
+    artifacts = benchmark.pedantic(
+        lambda: zoo_artifacts, rounds=1, iterations=1
+    )
+
+    emit()
+    emit(
+        f"Extended comparison — {len(ZOO)} algorithms, density {DENSITY}, "
+        f"{scale.n_runs} runs (Friedman + Holm + A12)"
+    )
+    mls = "AEDB-MLS"
+    mls_col = ZOO.index(mls)
+    for metric in ("spread", "igd", "hypervolume"):
+        matrix = _finite_matrix(artifacts, metric)
+        fr = friedman_test(matrix)
+        emit(
+            f"\n  [{metric}] Friedman chi2={fr.chi_square:.2f} "
+            f"p={fr.p_value:.4f}"
+            + (" (omnibus: differ)" if fr.significant() else " (n.s.)")
+        )
+        order = np.argsort(fr.mean_ranks)
+        ranking = [ZOO[int(i)] for i in order]
+        if not HIGHER_IS_BETTER[metric]:
+            emit(f"    mean-rank order (best first): {', '.join(ranking)}")
+        else:
+            emit(
+                "    mean-rank order (best first): "
+                + ", ".join(reversed(ranking))
+            )
+
+        # MLS vs each other algorithm: Holm-adjusted rank-sum + A12.
+        others = [n for n in ZOO if n != mls]
+        raw_p, effects = [], []
+        for name in others:
+            col = ZOO.index(name)
+            raw_p.append(rank_sum_test(matrix[:, mls_col], matrix[:, col]).p_value)
+            effects.append(
+                vargha_delaney_a12(matrix[:, mls_col], matrix[:, col])
+            )
+        adjusted = holm_bonferroni(raw_p)
+        for name, p_adj, eff in zip(others, adjusted, effects):
+            a12 = eff.value if HIGHER_IS_BETTER[metric] else 1.0 - eff.value
+            verdict = (
+                "MLS better"
+                if a12 > 0.5
+                else ("MLS worse" if a12 < 0.5 else "even")
+            )
+            sig = "*" if p_adj < 0.05 else " "
+            emit(
+                f"    MLS vs {name:>7s}: p_holm={p_adj:.3f}{sig} "
+                f"A12(MLS better)={a12:.2f} [{eff.magnitude}] -> {verdict}"
+            )
+
+    # Sanity assertions: samples complete, Friedman well-formed.
+    for metric in ("spread", "igd", "hypervolume"):
+        matrix = _finite_matrix(artifacts, metric)
+        assert matrix.shape == (scale.n_runs, len(ZOO))
+        fr = friedman_test(matrix)
+        assert 0.0 <= fr.p_value <= 1.0

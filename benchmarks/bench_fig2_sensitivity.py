@@ -1,0 +1,49 @@
+"""FIG2 — FAST99 sensitivity bars (paper Fig. 2).
+
+Regenerates, per density, the first-order ("main effect") and interaction
+indices of the five AEDB parameters on the four outputs.  The paper shows
+the 300 devices/km² case in full; the text discusses all densities.
+
+Paper shape targets (Sect. III-B):
+* broadcast time  <- min_delay + max_delay dominate;
+* coverage        <- neighbors_threshold strongest;
+* forwardings     <- border_threshold & neighbors_threshold strongest;
+* energy          <- border_threshold & neighbors_threshold, then delay;
+* margin_threshold has the lowest influence everywhere.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig2_series
+from repro.experiments.report import render_fig2
+
+
+@pytest.mark.parametrize("density", [100, 200, 300])
+def test_fig2_sensitivity(benchmark, density, scale, emit):
+    data = benchmark.pedantic(
+        fig2_series,
+        kwargs=dict(
+            density=density,
+            n_networks=scale.n_networks,
+            n_samples=scale.fast_samples,
+            master_seed=scale.master_seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit()
+    emit(render_fig2(data))
+
+    # Shape assertions (the paper's qualitative findings): the combined
+    # delay influence on broadcast time exceeds that of every other
+    # single parameter.
+    bt = data.objectives["broadcast_time"].result
+    delays = bt.first_order[0] + bt.first_order[1]
+    assert delays > bt.first_order[2:].max(), (
+        "delay parameters must dominate broadcast time"
+    )
+    margin_idx = 3
+    for objective, sens in data.objectives.items():
+        margin = sens.result.first_order[margin_idx]
+        strongest = sens.result.first_order.max()
+        assert margin <= strongest + 1e-9, objective

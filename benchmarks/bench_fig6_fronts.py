@@ -1,0 +1,41 @@
+"""FIG6 + DOM — Pareto fronts per density (paper Fig. 6 + §VI counts).
+
+Runs the three-algorithm campaign per density, builds the Reference
+Pareto front (AGA union of the MOEAs) and the AEDB-MLS front, prints both
+in the paper's display axes, and reports the mutual domination counts
+(the paper's 13/54, 11/40, 15/17 numbers).
+
+Paper shape targets:
+* similar front shapes: a low-energy cluster plus a region where coverage
+  grows faster than forwardings;
+* AEDB-MLS close to the reference but dominated more often than it
+  dominates (strictly more at 100/200, roughly even at 300);
+* axis magnitudes scale with density (coverage toward the device count).
+"""
+
+import pytest
+
+from repro.experiments.figures import fig6_series
+from repro.experiments.report import render_fig6
+
+
+@pytest.mark.parametrize("density", [100, 200, 300])
+def test_fig6_fronts(benchmark, density, artifacts_for, emit):
+    artifacts = benchmark.pedantic(
+        artifacts_for, args=(density,), rounds=1, iterations=1
+    )
+    series = fig6_series(artifacts)
+    emit()
+    emit(render_fig6(series))
+
+    assert series.reference.shape[0] > 0
+    assert series.mls.shape[0] > 0
+
+    # Coverage axis scales with the device count (Fig. 6 axes).
+    n_nodes = {100: 25, 200: 50, 300: 75}[density]
+    assert series.reference[:, 1].max() <= n_nodes
+    assert series.reference[:, 1].max() > 0.5 * n_nodes
+
+    # The MLS front lands in the same objective region as the reference.
+    ref_ranges = series.ranges()
+    assert ref_ranges["energy"][0] < ref_ranges["energy"][1]

@@ -1,0 +1,63 @@
+"""HYBRID — the paper's future work, quantified (Sect. VII).
+
+"We foresee that enriching the MOEAs with the proposed local search
+algorithm could significantly improve the quality of the obtained
+results" — this bench runs plain CellDE against CellDE-MLS (AEDB-MLS
+embedded as a memetic refinement stage) at an equal evaluation budget on
+the sparsest density and reports the indicator deltas.
+
+Shape target: the hybrid is at least competitive with plain CellDE, with
+its refinement stage consuming a visible share of the budget.
+"""
+
+import numpy as np
+
+from repro.experiments.fronts import front_matrix
+from repro.experiments.runner import run_campaign
+from repro.moo.indicators import NormalizationBounds, hypervolume
+from repro.moo.reference import merge_fronts
+
+
+def run_pair(scale):
+    return {
+        name: run_campaign(name, 100, scale=scale)
+        for name in ("CellDE", "CellDE-MLS")
+    }
+
+
+def test_hybrid_vs_plain_cellde(benchmark, scale, emit):
+    campaigns = benchmark.pedantic(run_pair, args=(scale,), rounds=1, iterations=1)
+
+    union = merge_fronts(
+        front
+        for campaign in campaigns.values()
+        for front in campaign.fronts
+    )
+    bounds = NormalizationBounds.from_front(front_matrix(union))
+    ref_point = bounds.reference_point(0.1)
+
+    emit()
+    emit(f"{'algorithm':>12s} {'mean HV':>9s} {'mean |front|':>13s} "
+          f"{'LS evals/run':>13s}")
+    hv = {}
+    for name, campaign in campaigns.items():
+        values = [
+            hypervolume(bounds.apply(front_matrix(
+                [s for s in front if s.is_feasible]
+            )), ref_point)
+            for front in campaign.fronts
+            if any(s.is_feasible for s in front)
+        ]
+        hv[name] = float(np.mean(values)) if values else 0.0
+        ls = [r.info.get("ls_evaluations", 0) for r in campaign.results]
+        sizes = [len(f) for f in campaign.fronts]
+        emit(f"{name:>12s} {hv[name]:>9.4f} {float(np.mean(sizes)):>13.1f} "
+              f"{float(np.mean(ls)):>13.1f}")
+
+    # The hybrid's refinement must actually run...
+    assert any(
+        r.info.get("ls_evaluations", 0) > 0
+        for r in campaigns["CellDE-MLS"].results
+    )
+    # ...and stay in the same quality region as plain CellDE.
+    assert hv["CellDE-MLS"] > 0.5 * hv["CellDE"]

@@ -1,0 +1,80 @@
+"""Microbenchmarks of the optimisation framework.
+
+Performance guards for the framework hot paths: non-dominated sorting,
+archive insertion (AGA and crowding), hypervolume, and one NSGA-II
+generation on an analytic problem (no simulator in the loop).
+"""
+
+import numpy as np
+import pytest
+
+from repro.moo import (
+    AdaptiveGridArchive,
+    CrowdingDistanceArchive,
+    NSGAII,
+    hypervolume,
+)
+from repro.moo.problems import DTLZ2
+from repro.moo.ranking import fast_non_dominated_sort
+from repro.moo.solution import FloatSolution
+
+
+def random_population(n, m=3, seed=0):
+    gen = np.random.default_rng(seed)
+    pop = []
+    for _ in range(n):
+        s = FloatSolution(np.zeros(2), m)
+        s.objectives = gen.random(m)
+        pop.append(s)
+    return pop
+
+
+def test_fast_non_dominated_sort_200(benchmark, emit):
+    pop = random_population(200)
+    fronts = benchmark(lambda: fast_non_dominated_sort(pop))
+    assert sum(len(f) for f in fronts) == 200
+
+
+@pytest.mark.parametrize("archive_cls", [AdaptiveGridArchive, CrowdingDistanceArchive])
+def test_archive_insertion_500(benchmark, archive_cls, emit):
+    gen = np.random.default_rng(1)
+    stream = []
+    for _ in range(500):
+        s = FloatSolution(np.zeros(2), 3)
+        x = gen.random(2)
+        s.objectives = np.array([x[0], x[1], 2.0 - x[0] - x[1]])
+        stream.append(s)
+
+    def fill():
+        if archive_cls is AdaptiveGridArchive:
+            archive = archive_cls(capacity=100, n_objectives=3, rng=0)
+        else:
+            archive = archive_cls(capacity=100)
+        for s in stream:
+            archive.add(s.copy())
+        return archive
+
+    archive = benchmark(fill)
+    assert len(archive) <= 100
+
+
+def test_hypervolume_3d_100_points(benchmark, emit):
+    gen = np.random.default_rng(2)
+    raw = gen.random((100, 3))
+    front = raw / np.linalg.norm(raw, axis=1, keepdims=True)
+    ref = np.array([1.1, 1.1, 1.1])
+    value = benchmark(lambda: hypervolume(front, ref))
+    assert 0 < value < 1.1**3
+
+
+def test_nsgaii_generation_dtlz2(benchmark, emit):
+    problem = DTLZ2()
+
+    def one_generation():
+        alg = NSGAII(problem, max_evaluations=200, population_size=100, rng=0)
+        alg._initialise()
+        alg._step()
+        return alg
+
+    alg = benchmark(one_generation)
+    assert alg.generations >= 1

@@ -1,0 +1,71 @@
+"""Broadcast-storm baseline comparison (paper Sect. I context).
+
+Not a numbered paper artefact: this bench quantifies the broadcast storm
+problem the paper's introduction cites (Ni et al. [12]) on our substrate
+and situates AEDB inside the baseline suite — the qualitative claims the
+AEDB design rests on, checked per density:
+
+* blind flooding self-collides (low reachability, zero savings);
+* suppression schemes (gossip / counter / distance) save rebroadcasts;
+* AEDB matches the distance scheme's savings at lower energy (power
+  adaptation) while keeping near-full reachability.
+"""
+
+import pytest
+
+from repro.manet import make_scenarios
+from repro.manet.protocols import (
+    FloodingProtocol,
+    compare_protocols,
+    simulate_protocol,
+    standard_protocol_suite,
+)
+from repro.manet.protocols.compare import render_comparison
+
+
+@pytest.mark.parametrize("density", [100, 200, 300])
+def test_storm_comparison(benchmark, density, scale, emit):
+    scenarios = make_scenarios(
+        density, n_networks=scale.n_networks, master_seed=scale.master_seed
+    )
+    suite = standard_protocol_suite()
+
+    comparison = benchmark.pedantic(
+        lambda: compare_protocols(suite, scenarios), rounds=1, iterations=1
+    )
+
+    emit()
+    emit(render_comparison(comparison))
+
+    flooding = comparison.outcomes["flooding"]
+    jittered = comparison.outcomes["flood+jit"]
+    aedb = comparison.outcomes["AEDB"]
+    distance = comparison.outcomes["distance"]
+
+    # The storm: blind flooding loses coverage to its own collisions.
+    assert flooding.reachability < jittered.reachability
+    assert flooding.saved_rebroadcasts == pytest.approx(0.0, abs=1e-12)
+    # Suppression buys large savings at near-full reach.
+    assert distance.saved_rebroadcasts > 0.3
+    assert aedb.saved_rebroadcasts > 0.3
+    # Power adaptation: AEDB spends less energy per forwarding than the
+    # fixed-power distance scheme.
+    aedb_fwd = max(aedb.mean.forwardings, 1.0)
+    dist_fwd = max(distance.mean.forwardings, 1.0)
+    assert (
+        aedb.mean.energy_dbm / aedb_fwd
+        <= distance.mean.energy_dbm / dist_fwd + 1e-9
+    )
+
+
+def test_single_flooding_run(benchmark):
+    """Microbenchmark: one worst-case (storm) dissemination, 75 nodes."""
+    scenario = make_scenarios(300, n_networks=1)[0]
+
+    def run():
+        return simulate_protocol(
+            scenario, lambda ctx: FloodingProtocol(ctx, delay_interval_s=(0.0, 0.2))
+        )
+
+    metrics = benchmark(run)
+    assert metrics.n_nodes == scenario.n_nodes

@@ -1,0 +1,48 @@
+"""TAB1 — the sensitivity summary arrows (paper Table I).
+
+Regenerates the per-(parameter, objective) direction arrows and
+interaction labels from the FAST99 study plus monotone trend probes.
+
+Paper shape targets (Table I):
+* delay: decrease to improve coverage and energy is weak ("few"); the
+  broadcast-time column is the strong one;
+* margin_threshold: weakest row ("very few"/"no" interactions);
+* border & neighbours thresholds: "yes" interactions on coverage /
+  forwardings / energy.
+"""
+
+from repro.experiments.tables import table1
+
+
+def test_table1_summary(benchmark, scale, emit):
+    data = benchmark.pedantic(
+        table1,
+        kwargs=dict(
+            density=300,
+            n_networks=scale.n_networks,
+            n_samples=scale.fast_samples,
+            master_seed=scale.master_seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit()
+    emit(data.render())
+
+    # Broadcast time is repaired by decreasing the delays (criterion iii).
+    cell = data.cell("max_delay_s", "broadcast_time")
+    assert cell.direction == "decrease"
+
+    # Margin threshold: weakest interactions on average (paper: lowest
+    # direct influence on any objective).
+    from repro.sensitivity.analysis import OBJECTIVE_NAMES
+
+    def mean_interaction(param):
+        return sum(
+            data.cell(param, obj).interaction_index for obj in OBJECTIVE_NAMES
+        ) / len(OBJECTIVE_NAMES)
+
+    margin = mean_interaction("margin_threshold_db")
+    border = mean_interaction("border_threshold_dbm")
+    neighbors = mean_interaction("neighbors_threshold")
+    assert margin <= max(border, neighbors) + 1e-9

@@ -1,0 +1,81 @@
+"""TIME — execution-time comparison (paper Sect. VI, final paragraphs).
+
+The paper: AEDB-MLS takes 48/188/417 minutes per density where NSGA-II /
+CellDE take 32/123/264 hours on the same hardware — "over 38 times
+faster ... and it performs 2.4 times more evaluations".  That 38x rides
+on a 96-core cluster (8 nodes x 12 threads); the reproduction machine is
+cgroup-limited to ~1.3 effective cores (measured: two pure-CPU processes
+achieve 1.26x scaling), so wall-clock speedups here are bounded by
+hardware, not by the algorithm.
+
+What this bench reproduces:
+* throughput (evaluations/second) per algorithm and density;
+* the MLS-vs-MOEA per-evaluation speedup under the process engine (the
+  hardware-independent shape: >= ~1 even on this box, growing with core
+  count);
+* the evaluation-ratio knob (paper: 2.4x more evaluations for MLS).
+"""
+
+import numpy as np
+
+from repro.experiments.timing import run_timing_experiment
+
+PAPER_MINUTES = {  # density -> (MLS minutes, MOEA hours)
+    100: (48.0, 32.0),
+    200: (188.0, 123.0),
+    300: (417.0, 264.0),
+}
+
+
+def test_timing_speedup(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_timing_experiment,
+        kwargs=dict(
+            densities=tuple(scale.densities),
+            scale=scale,
+            mls_engine="processes",
+            seed=1234,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit()
+    emit(report.render())
+    emit()
+    emit(f"{'density':>8s} {'speedup/eval':>13s} {'eval ratio':>11s} "
+          f"{'paper speedup':>14s}")
+    for density in scale.densities:
+        paper_mls_min, paper_moea_h = PAPER_MINUTES[density]
+        paper_speedup = paper_moea_h * 60.0 / paper_mls_min
+        emit(
+            f"{density:>8d} {report.speedup(density):>13.2f} "
+            f"{report.eval_ratio(density):>11.2f} "
+            f"{paper_speedup:>14.1f}"
+        )
+
+    # Shape assertions.
+    for density in scale.densities:
+        # Simulation cost grows with density, so throughput must drop.
+        mls = report.row("AEDB-MLS", density)
+        assert mls.evaluations > 0 and mls.wall_s > 0
+        # MLS must not be dramatically slower per evaluation than the
+        # serial MOEA (parallelism >= ~breakeven even on 1.3 cores).
+        assert report.speedup(density) > 0.5
+
+    throughput = [
+        report.row("NSGAII", d).evals_per_second for d in scale.densities
+    ]
+    assert throughput == sorted(throughput, reverse=True), (
+        "denser networks must cost more per evaluation"
+    )
+
+    # Paper's scaling text: the per-density MOEA runtimes grow by ~4x and
+    # ~2x between densities; ours must grow monotonically too.
+    walls = [report.row("NSGAII", d).wall_s for d in scale.densities]
+    assert walls == sorted(walls)
+
+    mean_speedup = float(
+        np.mean([report.speedup(d) for d in scale.densities])
+    )
+    emit(f"mean per-eval speedup on this host: {mean_speedup:.2f}x "
+          "(paper: >= 38x on 96 cores)")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The paper's comparison, miniaturised: NSGA-II vs CellDE vs AEDB-MLS.
+
+Runs a few independent executions of each algorithm on one density,
+builds the Reference Pareto front from the MOEAs (AGA-filtered union, as
+in Sect. VI), scores every run with spread / IGD / hypervolume on
+normalised fronts, and prints the Fig. 6 / Fig. 7 / Table IV artefacts.
+
+Run:  python examples/compare_algorithms.py [--density 100] [--runs 3]
+"""
+
+import argparse
+
+from repro.core.config import MLSConfig
+from repro.experiments import build_density_artifacts, run_campaign
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import fig6_series, fig7_series
+from repro.experiments.report import render_fig6, render_fig7
+from repro.experiments.tables import table4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--density", type=int, default=100)
+    parser.add_argument("--runs", type=int, default=3)
+    parser.add_argument("--evaluations", type=int, default=400)
+    args = parser.parse_args()
+
+    scale = ExperimentScale(
+        name="example",
+        n_runs=args.runs,
+        n_networks=3,
+        moea_evaluations=args.evaluations,
+        nsgaii_population=20,
+        cellde_grid_side=4,
+        mls=MLSConfig(
+            n_populations=2,
+            threads_per_population=4,
+            evaluations_per_thread=max(args.evaluations // 8, 10),
+            reset_iterations=15,
+        ),
+    )
+
+    campaigns = {}
+    for name in ("NSGAII", "CellDE", "AEDB-MLS"):
+        print(f"running {name} x{args.runs} ...", flush=True)
+        campaigns[name] = run_campaign(name, args.density, scale=scale)
+        runtimes = campaigns[name].runtimes
+        print(f"  mean runtime {sum(runtimes) / len(runtimes):.1f} s/run")
+
+    artifacts = build_density_artifacts(campaigns, args.density)
+    print()
+    print(render_fig6(fig6_series(artifacts)))
+    print()
+    print(render_fig7(fig7_series(artifacts)))
+    print()
+    print(table4({args.density: artifacts}).render())
+
+
+if __name__ == "__main__":
+    main()

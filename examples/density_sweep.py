@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""How well does one tuned configuration travel across densities?
+
+The paper optimises per density; its companion work (Ruiz et al. 2012,
+reference [14]) asks for *scalable* configurations.  This example tunes
+on the sparsest network set, then re-simulates the chosen operating
+point on all three densities — showing why the per-density optimisation
+of this paper is needed (a sparse-tuned config over-spends on dense
+networks).
+
+Run:  python examples/density_sweep.py
+"""
+
+import numpy as np
+
+from repro.core import AEDBMLS, MLSConfig
+from repro.manet.metrics import aggregate_metrics
+from repro.manet.scenarios import make_scenarios
+from repro.manet.simulator import BroadcastSimulator
+from repro.tuning import make_tuning_problem
+
+
+def main() -> None:
+    problem = make_tuning_problem(100, n_networks=3)
+    config = MLSConfig(
+        n_populations=2,
+        threads_per_population=4,
+        evaluations_per_thread=30,
+        reset_iterations=15,
+    )
+    print("tuning on 100 devices/km^2 ...")
+    result = AEDBMLS(problem, config, seed=7).run()
+    display = problem.display_objectives(result.objectives_matrix())
+
+    # Pick the highest-coverage feasible configuration.
+    best = result.front[int(np.argmax(display[:, 1]))]
+    params = problem.params_of(best)
+    print(f"selected configuration: {params}\n")
+
+    print(f"{'density':>8s} {'nodes':>6s} {'coverage':>12s} {'energy':>10s} "
+          f"{'forward.':>9s} {'bt[s]':>7s}")
+    for density in (100, 200, 300):
+        scenarios = make_scenarios(density, n_networks=3)
+        metrics = aggregate_metrics(
+            [BroadcastSimulator(s, params).run() for s in scenarios]
+        )
+        print(
+            f"{density:>8d} {scenarios[0].n_nodes:>6d} "
+            f"{metrics.coverage:>7.1f}/{scenarios[0].n_nodes - 1:<4d} "
+            f"{metrics.energy_dbm:>10.1f} {metrics.forwardings:>9.1f} "
+            f"{metrics.broadcast_time_s:>7.2f}"
+        )
+
+    print(
+        "\nThe sparse-tuned configuration keeps working at higher "
+        "densities but burns disproportionate energy/forwardings there — "
+        "the motivation for the paper's per-density tuning."
+    )
+
+
+if __name__ == "__main__":
+    main()

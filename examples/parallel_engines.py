@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The three AEDB-MLS execution engines side by side.
+
+Same algorithm, same budget, three concurrency models (paper Sect. IV:
+"hybrid parallel model: message-passing ... between the distributed
+populations and the external archive, and shared-memory ... between
+solutions in the same population"):
+
+* serial    — deterministic round-robin reference;
+* threads   — shared-memory (CPython caveat: numpy's GIL releases make
+  this a semantics demo, not a speed-up, on small arrays);
+* processes — message-passing populations with a parent archive server,
+  the paper's deployment model.
+
+Run:  python examples/parallel_engines.py
+"""
+
+import numpy as np
+
+from repro.core import AEDBMLS, MLSConfig
+from repro.tuning import make_tuning_problem
+
+
+def main() -> None:
+    base = dict(
+        n_populations=2,
+        threads_per_population=2,
+        evaluations_per_thread=25,
+        reset_iterations=15,
+        archive_capacity=50,
+    )
+    print(f"{'engine':>10s} {'wall[s]':>8s} {'evals':>6s} {'front':>6s} "
+          f"{'best coverage':>14s}")
+    for engine in ("serial", "threads", "processes"):
+        problem = make_tuning_problem(100, n_networks=3)
+        config = MLSConfig(**base, engine=engine)
+        result = AEDBMLS(problem, config, seed=11).run()
+        display = problem.display_objectives(result.objectives_matrix())
+        print(
+            f"{engine:>10s} {result.runtime_s:>8.2f} "
+            f"{result.evaluations:>6d} {len(result.front):>6d} "
+            f"{display[:, 1].max():>14.1f}"
+        )
+        if engine == "processes":
+            msgs = result.info.get("archive_messages", "?")
+            print(f"{'':>10s} archive served {msgs} messages over pipes")
+
+    print(
+        "\nAll engines run the identical Fig. 3 procedure; on a "
+        "many-core host the process engine is the one that scales "
+        "(the paper used 8 nodes x 12 threads)."
+    )
+
+
+if __name__ == "__main__":
+    main()

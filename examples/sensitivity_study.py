@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Reproduce the paper's sensitivity analysis (Sect. III-B / Fig. 2).
+
+Runs FAST99 over the wide exploration ranges for one density, prints the
+main-effect / interaction bars for the four outputs, cross-checks the
+importance ranking with Morris elementary effects, and renders the
+Table I summary the local-search operators were designed from.
+
+Run:  python examples/sensitivity_study.py [--density 300] [--samples 65]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.experiments.figures import fig2_series
+from repro.experiments.report import render_fig2
+from repro.experiments.tables import table1
+from repro.manet.aedb import AEDBParams
+from repro.sensitivity import morris_indices
+from repro.sensitivity.analysis import SENSITIVITY_RANGES
+from repro.tuning import NetworkSetEvaluator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--density", type=int, default=300)
+    parser.add_argument("--samples", type=int, default=65)
+    parser.add_argument("--networks", type=int, default=2)
+    args = parser.parse_args()
+
+    data = fig2_series(
+        args.density, n_networks=args.networks, n_samples=args.samples
+    )
+    print(render_fig2(data))
+
+    # Independent cross-check: Morris screening on the energy objective.
+    evaluator = NetworkSetEvaluator.for_density(
+        args.density, n_networks=args.networks
+    )
+
+    def energy_model(x: np.ndarray) -> float:
+        return evaluator.evaluate(AEDBParams.from_array(x)).energy_dbm
+
+    bounds = [(lo, hi) for _, lo, hi in SENSITIVITY_RANGES]
+    names = tuple(n for n, _, _ in SENSITIVITY_RANGES)
+    morris = morris_indices(energy_model, bounds, r=6, names=names, rng=1)
+    print("\nMorris cross-check (energy objective):")
+    print(f"  ranking by mu*: {', '.join(morris.ranking())}")
+
+    print()
+    print(
+        table1(
+            args.density,
+            n_networks=args.networks,
+            n_samples=args.samples,
+        ).render()
+    )
+
+
+if __name__ == "__main__":
+    main()

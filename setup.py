@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so
+the package can be installed in environments without the ``wheel``
+package (PEP 660 editable installs need it): ``python setup.py develop``
+keeps working with plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,235 @@
+"""Command-line interface: ``repro-aedb`` (or ``python -m repro``).
+
+Subcommands map to the deliverables:
+
+* ``simulate``    — run AEDB on one evaluation network, print metrics;
+* ``tune``        — run AEDB-MLS on a density, print the front found;
+* ``compare``     — mini-campaign NSGA-II vs CellDE vs AEDB-MLS with
+  indicator boxplots and Wilcoxon verdicts;
+* ``sensitivity`` — FAST99 (or Sobol') study (Fig. 2) and the Table I
+  summary;
+* ``timing``      — the execution-time experiment;
+* ``protocols``   — broadcast-storm baseline suite vs AEDB (Sect. I
+  context).
+
+Every command honours ``--scale {quick,medium,paper}`` (or the
+``REPRO_SCALE`` env var) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-aedb",
+        description=(
+            "Reproduction of 'A Parallel Multi-objective Local Search for "
+            "AEDB Protocol Tuning' (IPPS 2013)."
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "medium", "paper"),
+        default=None,
+        help="experiment scale preset (default: REPRO_SCALE or quick)",
+    )
+    parser.add_argument("--seed", type=int, default=0xAEDB, help="master seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one AEDB broadcast")
+    sim.add_argument("--density", type=int, default=300, help="devices/km^2")
+    sim.add_argument("--network", type=int, default=0, help="network index")
+    sim.add_argument("--min-delay", type=float, default=0.0)
+    sim.add_argument("--max-delay", type=float, default=1.0)
+    sim.add_argument("--border", type=float, default=-90.0, help="dBm")
+    sim.add_argument("--margin", type=float, default=1.0, help="dB")
+    sim.add_argument("--neighbors", type=float, default=10.0)
+
+    tune = sub.add_parser("tune", help="run AEDB-MLS")
+    tune.add_argument("--density", type=int, default=100)
+    tune.add_argument(
+        "--engine", choices=("serial", "threads", "processes"), default=None
+    )
+
+    comp = sub.add_parser("compare", help="algorithm comparison campaign")
+    comp.add_argument("--density", type=int, default=100)
+    comp.add_argument("--runs", type=int, default=None)
+
+    sens = sub.add_parser("sensitivity", help="FAST99/Sobol study + Table I")
+    sens.add_argument("--density", type=int, default=300)
+    sens.add_argument(
+        "--method",
+        choices=("fast99", "sobol"),
+        default="fast99",
+        help="variance-decomposition estimator (fast99 = the paper's)",
+    )
+
+    sub.add_parser("timing", help="execution-time comparison")
+
+    prot = sub.add_parser(
+        "protocols", help="broadcast-storm baselines vs AEDB"
+    )
+    prot.add_argument("--density", type=int, default=200)
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    from repro.manet import AEDBParams, make_scenarios, simulate_broadcast
+
+    scenario = make_scenarios(
+        args.density, n_networks=args.network + 1, master_seed=args.seed
+    )[args.network]
+    params = AEDBParams(
+        min_delay_s=args.min_delay,
+        max_delay_s=args.max_delay,
+        border_threshold_dbm=args.border,
+        margin_threshold_db=args.margin,
+        neighbors_threshold=args.neighbors,
+    ).clipped()
+    metrics = simulate_broadcast(scenario, params)
+    print(f"scenario: density={args.density} network={args.network} "
+          f"n_nodes={scenario.n_nodes} source={scenario.source}")
+    print(f"params:   {params}")
+    print(f"metrics:  {metrics}")
+    return 0
+
+
+def _cmd_tune(args, scale) -> int:
+    from repro.core import AEDBMLS
+    from repro.experiments.runner import make_algorithm
+    from repro.tuning import make_tuning_problem
+
+    problem = make_tuning_problem(
+        args.density, n_networks=scale.n_networks, master_seed=args.seed
+    )
+    alg = make_algorithm("AEDB-MLS", problem, scale, args.seed, args.engine)
+    assert isinstance(alg, AEDBMLS)
+    result = alg.run()
+    display = problem.display_objectives(result.objectives_matrix())
+    print(
+        f"AEDB-MLS ({result.info['engine']}): {len(result.front)} "
+        f"non-dominated solutions, {result.evaluations} evaluations, "
+        f"{result.runtime_s:.1f}s"
+    )
+    print(f"{'energy[dBm]':>12s} {'coverage':>9s} {'forwardings':>12s}   parameters")
+    order = np.argsort(display[:, 1])
+    for i in order:
+        sol = result.front[i]
+        vars_str = np.array2string(sol.variables, precision=3)
+        print(
+            f"{display[i, 0]:>12.2f} {display[i, 1]:>9.1f} "
+            f"{display[i, 2]:>12.1f}   {vars_str}"
+        )
+    return 0
+
+
+def _cmd_compare(args, scale) -> int:
+    from repro.experiments import build_density_artifacts, run_campaign
+    from repro.experiments.figures import fig6_series, fig7_series
+    from repro.experiments.report import render_fig6, render_fig7
+    from repro.experiments.tables import table4
+
+    campaigns = {}
+    for name in ("NSGAII", "CellDE", "AEDB-MLS"):
+        print(f"running {name} x{args.runs or scale.n_runs} ...", flush=True)
+        campaigns[name] = run_campaign(
+            name, args.density, scale=scale, n_runs=args.runs
+        )
+    artifacts = build_density_artifacts(campaigns, args.density)
+    print(render_fig6(fig6_series(artifacts)))
+    print()
+    print(render_fig7(fig7_series(artifacts)))
+    print()
+    print(table4({args.density: artifacts}).render())
+    return 0
+
+
+def _cmd_sensitivity(args, scale) -> int:
+    from repro.experiments.figures import fig2_series
+    from repro.experiments.report import render_fig2
+    from repro.experiments.tables import table1
+
+    data = fig2_series(
+        args.density,
+        n_networks=scale.n_networks,
+        n_samples=scale.fast_samples,
+        master_seed=args.seed,
+        method=args.method,
+    )
+    print(render_fig2(data))
+    print()
+    print(
+        table1(
+            args.density,
+            n_networks=scale.n_networks,
+            n_samples=scale.fast_samples,
+            master_seed=args.seed,
+        ).render()
+    )
+    return 0
+
+
+def _cmd_timing(args, scale) -> int:
+    from repro.experiments.timing import run_timing_experiment
+
+    report = run_timing_experiment(
+        densities=tuple(scale.densities), scale=scale, seed=args.seed
+    )
+    print(report.render())
+    for density in scale.densities:
+        print(
+            f"density {density}: per-eval speedup MLS vs NSGAII = "
+            f"{report.speedup(density):.2f}x, eval ratio = "
+            f"{report.eval_ratio(density):.2f}x"
+        )
+    return 0
+
+
+def _cmd_protocols(args, scale) -> int:
+    from repro.manet import make_scenarios
+    from repro.manet.protocols import compare_protocols, standard_protocol_suite
+    from repro.manet.protocols.compare import render_comparison
+
+    scenarios = make_scenarios(
+        args.density, n_networks=scale.n_networks, master_seed=args.seed
+    )
+    comparison = compare_protocols(standard_protocol_suite(), scenarios)
+    print(render_comparison(comparison))
+    print(
+        f"best reachability: {comparison.ranking('reachability')[0]}; "
+        f"most storm removed: {comparison.ranking('saved_rebroadcasts')[0]}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    from repro.experiments.config import get_scale
+
+    scale = get_scale(args.scale)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "tune":
+        return _cmd_tune(args, scale)
+    if args.command == "compare":
+        return _cmd_compare(args, scale)
+    if args.command == "sensitivity":
+        return _cmd_sensitivity(args, scale)
+    if args.command == "timing":
+        return _cmd_timing(args, scale)
+    if args.command == "protocols":
+        return _cmd_protocols(args, scale)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

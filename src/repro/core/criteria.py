@@ -1,0 +1,85 @@
+"""Search criteria derived from the sensitivity analysis (Sect. IV-B).
+
+"There are three different search criteria that can be applied when
+modifying a solution, depending on the objective to be improved:
+
+i.   energy used / forwardings  -> modify ``border_threshold`` and
+     ``neighbors_threshold``;
+ii.  coverage                   -> tune ``neighbors_threshold``;
+iii. broadcast-time constraint  -> adjust ``min_delay`` and ``max_delay``."
+
+Each iteration one criterion is selected at random (uniformly in the
+paper; :class:`~repro.core.config.MLSConfig` optionally biases the draw
+for the ablation benchmarks) and its variables are perturbed with the
+directional BLX-α step of Eq. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.manet.aedb import AEDBParams
+from repro.utils.rng import as_generator
+
+__all__ = ["SearchCriterion", "SEARCH_CRITERIA", "select_criterion"]
+
+
+def _index_of(name: str) -> int:
+    return AEDBParams.names().index(name)
+
+
+@dataclass(frozen=True)
+class SearchCriterion:
+    """A named group of decision-variable indices to perturb together."""
+
+    name: str
+    #: Objectives this criterion aims at (labels only, for reports).
+    targets: tuple[str, ...]
+    #: Indices into the canonical AEDB parameter vector.
+    variable_indices: tuple[int, ...]
+
+    def variable_names(self) -> tuple[str, ...]:
+        """Names of the variables this criterion perturbs."""
+        names = AEDBParams.names()
+        return tuple(names[i] for i in self.variable_indices)
+
+
+#: The paper's three criteria, in the order i/ii/iii quoted above.
+SEARCH_CRITERIA: tuple[SearchCriterion, ...] = (
+    SearchCriterion(
+        name="energy-forwardings",
+        targets=("energy", "forwardings"),
+        variable_indices=(
+            _index_of("border_threshold_dbm"),
+            _index_of("neighbors_threshold"),
+        ),
+    ),
+    SearchCriterion(
+        name="coverage",
+        targets=("coverage",),
+        variable_indices=(_index_of("neighbors_threshold"),),
+    ),
+    SearchCriterion(
+        name="broadcast-time",
+        targets=("broadcast_time",),
+        variable_indices=(
+            _index_of("min_delay_s"),
+            _index_of("max_delay_s"),
+        ),
+    ),
+)
+
+
+def select_criterion(
+    rng: np.random.Generator | int | None = None,
+    weights: tuple[float, float, float] | None = None,
+) -> SearchCriterion:
+    """Draw one criterion (uniform by default, as in the paper)."""
+    gen = as_generator(rng)
+    if weights is None:
+        return SEARCH_CRITERIA[int(gen.integers(len(SEARCH_CRITERIA)))]
+    w = np.asarray(weights, dtype=float)
+    w = w / w.sum()
+    return SEARCH_CRITERIA[int(gen.choice(len(SEARCH_CRITERIA), p=w))]

@@ -1,0 +1,223 @@
+"""Shared-memory (threaded) AEDB-MLS engine.
+
+One OS thread per local-search procedure, populations shared in memory,
+and a single lock-guarded Adaptive Grid Archive — the shared-memory half
+of the paper's hybrid model.  Population re-initialisation is coordinated
+with a :class:`ResetBarrier`: a barrier whose party count shrinks as
+threads exhaust their budgets, so stragglers can never deadlock the
+population (threads consume different evaluation counts during feasible
+initialisation).
+
+CPython note: the simulator's evaluation releases the GIL only inside
+NumPy kernels, so thread scalability is limited — the point of this
+engine is semantic fidelity (and it is also what the process engine runs
+*inside* each population process, where it does provide overlap with the
+pipe I/O).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.config import MLSConfig
+from repro.core.localsearch import (
+    ArchivePort,
+    LocalSearchProcedure,
+    Population,
+    drain_population,
+)
+from repro.moo.archive import AdaptiveGridArchive
+from repro.moo.problem import Problem
+from repro.moo.solution import FloatSolution
+from repro.utils.rng import RngFactory
+
+__all__ = ["ThreadEngine", "ResetBarrier", "run_population_threaded"]
+
+
+class ResetBarrier:
+    """A barrier whose membership can shrink.
+
+    ``wait(leader_action)`` blocks until every *registered* party has
+    arrived; the last arrival runs ``leader_action`` and releases the
+    generation.  ``deregister()`` removes a finished party and, if that
+    completes the current generation, releases it (running the pending
+    leader action).
+    """
+
+    def __init__(self, parties: int):
+        if parties <= 0:
+            raise ValueError(f"parties must be positive, got {parties}")
+        self._parties = parties
+        self._arrived = 0
+        self._generation = 0
+        self._cond = threading.Condition()
+        self._pending_action = None
+
+    def _release(self) -> None:
+        # Caller holds the lock.
+        action, self._pending_action = self._pending_action, None
+        if action is not None:
+            action()
+        self._arrived = 0
+        self._generation += 1
+        self._cond.notify_all()
+
+    def wait(self, leader_action=None) -> None:
+        """Arrive at the barrier; the closing arrival runs the action."""
+        with self._cond:
+            if leader_action is not None:
+                self._pending_action = leader_action
+            generation = self._generation
+            self._arrived += 1
+            if self._arrived >= self._parties:
+                self._release()
+                return
+            while generation == self._generation:
+                self._cond.wait()
+
+    def deregister(self) -> None:
+        """A party leaves permanently (budget exhausted)."""
+        with self._cond:
+            self._parties -= 1
+            if self._parties > 0 and self._arrived >= self._parties:
+                self._release()
+
+
+def run_population_threaded(
+    problem: Problem,
+    config: MLSConfig,
+    population_index: int,
+    port: ArchivePort,
+    factory: RngFactory,
+) -> list[dict]:
+    """Run one population's T procedures on T threads; return stats.
+
+    Shared by :class:`ThreadEngine` (all populations in one process) and
+    the process engine's population workers.
+    """
+    population = Population(config.threads_per_population)
+    procedures = [
+        LocalSearchProcedure(
+            problem,
+            config,
+            population,
+            slot=t,
+            archive=port,
+            rng=factory.generator("mls", population_index, t),
+        )
+        for t in range(config.threads_per_population)
+    ]
+    barrier = ResetBarrier(config.threads_per_population)
+    reset_rng = factory.generator("reset", population_index)
+    errors: list[BaseException] = []
+
+    def drain() -> None:
+        drain_population(procedures, port, reset_rng)
+
+    def worker(proc: LocalSearchProcedure) -> None:
+        try:
+            proc.initialise()
+            # Fig. 3 line 4: wait until the local population is complete.
+            barrier.wait()
+            while not proc.done:
+                proc.step()
+                if proc.done:
+                    break
+                if proc.needs_reset():
+                    barrier.wait(leader_action=drain)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        finally:
+            barrier.deregister()
+
+    threads = [
+        threading.Thread(
+            target=worker,
+            args=(proc,),
+            name=f"mls-p{population_index}-t{i}",
+            daemon=True,
+        )
+        for i, proc in enumerate(procedures)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return [proc.stats() for proc in procedures]
+
+
+class ThreadEngine:
+    """All populations as thread groups in one process."""
+
+    name = "threads"
+
+    def run(
+        self,
+        problem: Problem,
+        config: MLSConfig,
+        seed: int = 0,
+    ) -> tuple[list[FloatSolution], dict]:
+        """Execute a full AEDB-MLS run; return (archive members, stats)."""
+        factory = RngFactory(seed)
+        archive = AdaptiveGridArchive(
+            capacity=config.archive_capacity,
+            n_objectives=problem.n_objectives,
+            bisections=config.archive_bisections,
+            rng=factory.generator("archive"),
+        )
+        lock = threading.Lock()
+
+        def locked_add(solution: FloatSolution) -> bool:
+            with lock:
+                return archive.add(solution)
+
+        def locked_sample(k: int) -> list[FloatSolution]:
+            with lock:
+                return archive.sample(k)
+
+        port = ArchivePort(locked_add, locked_sample)
+
+        per_population: list[list[dict] | None] = [None] * config.n_populations
+        errors: list[BaseException] = []
+
+        def population_runner(p: int) -> None:
+            try:
+                per_population[p] = run_population_threaded(
+                    problem, config, p, port, factory
+                )
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        runners = [
+            threading.Thread(
+                target=population_runner, args=(p,), name=f"mls-pop{p}", daemon=True
+            )
+            for p in range(config.n_populations)
+        ]
+        for t in runners:
+            t.start()
+        for t in runners:
+            t.join()
+        if errors:
+            raise errors[0]
+
+        stats_lists: list[list[dict]] = [s or [] for s in per_population]
+        stats = {
+            "engine": self.name,
+            "evaluations": int(
+                np.sum(
+                    [
+                        proc_stats["evaluations"]
+                        for pop in stats_lists
+                        for proc_stats in pop
+                    ]
+                )
+            ),
+            "archive_size": len(archive),
+            "per_population": stats_lists,
+        }
+        return [m.copy() for m in archive.members], stats

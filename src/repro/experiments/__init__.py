@@ -1,0 +1,39 @@
+"""Experiment harness — regenerates every table and figure of the paper.
+
+One module per concern:
+
+* :mod:`repro.experiments.config` — scale presets (``quick`` default;
+  ``REPRO_SCALE=paper`` reproduces the full 30-run campaign budgets);
+* :mod:`repro.experiments.runner` — independent-run campaigns for the
+  three algorithms over the three densities;
+* :mod:`repro.experiments.fronts` — reference fronts, normalisation,
+  per-run indicator samples, mutual domination counts;
+* :mod:`repro.experiments.figures` — Fig. 2 / Fig. 6 / Fig. 7 series;
+* :mod:`repro.experiments.tables` — Table I / Table IV;
+* :mod:`repro.experiments.timing` — the execution-time comparison
+  (Sect. VI, "38 times faster");
+* :mod:`repro.experiments.io` — JSON persistence of campaign artefacts;
+* :mod:`repro.experiments.report` — plain-text rendering used by the
+  benchmark harness and the CLI.
+"""
+
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.fronts import (
+    DensityArtifacts,
+    IndicatorSamples,
+    build_density_artifacts,
+    domination_counts,
+)
+from repro.experiments.runner import Campaign, make_algorithm, run_campaign
+
+__all__ = [
+    "ExperimentScale",
+    "get_scale",
+    "Campaign",
+    "run_campaign",
+    "make_algorithm",
+    "DensityArtifacts",
+    "IndicatorSamples",
+    "build_density_artifacts",
+    "domination_counts",
+]

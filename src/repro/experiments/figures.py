@@ -1,0 +1,147 @@
+"""Figure data series.
+
+Each function returns plain data structures (and a text rendering via
+:mod:`repro.experiments.report`) with exactly the series the paper plots:
+
+* Fig. 2 — per-objective FAST99 main-effect + interaction bars;
+* Fig. 6 — the Reference and AEDB-MLS Pareto fronts per density, in the
+  paper's display axes (energy, coverage, forwardings);
+* Fig. 7 — boxplot statistics of spread / IGD / hypervolume per
+  algorithm per density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.fronts import DensityArtifacts, front_matrix
+from repro.sensitivity.analysis import AEDBSensitivityStudy, ObjectiveSensitivity
+from repro.stats.descriptive import BoxplotStats, boxplot_stats
+from repro.tuning.evaluation import NetworkSetEvaluator
+
+__all__ = [
+    "Fig2Data",
+    "fig2_series",
+    "Fig6Series",
+    "fig6_series",
+    "Fig7Data",
+    "fig7_series",
+]
+
+
+# --------------------------------------------------------------------- #
+# Fig. 2                                                                #
+# --------------------------------------------------------------------- #
+@dataclass
+class Fig2Data:
+    """FAST99 bars for one density."""
+
+    density: int
+    n_samples: int
+    evaluations: int
+    #: objective -> ObjectiveSensitivity (Fig. 2 subfigure order).
+    objectives: dict[str, ObjectiveSensitivity]
+
+
+def fig2_series(
+    density: int,
+    n_networks: int = 3,
+    n_samples: int = 65,
+    master_seed: int = 0xAEDB,
+    method: str = "fast99",
+) -> Fig2Data:
+    """Run the sensitivity study behind Fig. 2 for one density.
+
+    ``method="sobol"`` swaps in the Saltelli/Sobol' estimator (the Fig. 2
+    cross-check); the bars keep the same (main effect, interaction)
+    reading.
+    """
+    evaluator = NetworkSetEvaluator.for_density(
+        density, n_networks=n_networks, master_seed=master_seed
+    )
+    study = AEDBSensitivityStudy(evaluator, n_samples=n_samples, method=method)
+    objectives = study.run()
+    return Fig2Data(
+        density=density,
+        n_samples=n_samples,
+        evaluations=study.evaluations_used,
+        objectives=objectives,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Fig. 6                                                                #
+# --------------------------------------------------------------------- #
+@dataclass
+class Fig6Series:
+    """Front scatter data for one density, in display axes."""
+
+    density: int
+    #: (n, 3) matrix (energy, coverage, forwardings) — Reference front.
+    reference: np.ndarray
+    #: (n, 3) matrix — AEDB-MLS front.
+    mls: np.ndarray
+    #: Mutual domination counts: (reference points dominated by MLS,
+    #: MLS points dominated by reference).
+    domination: tuple[int, int]
+
+    def ranges(self) -> dict[str, tuple[float, float]]:
+        """Per-axis (min, max) over both fronts — the Fig. 6 axes."""
+        both = np.vstack([self.reference, self.mls])
+        labels = ("energy", "coverage", "forwardings")
+        return {
+            label: (float(both[:, i].min()), float(both[:, i].max()))
+            for i, label in enumerate(labels)
+        }
+
+
+def _display(matrix: np.ndarray) -> np.ndarray:
+    """Internal (min, min, min) objectives -> paper display axes."""
+    out = matrix.copy()
+    if out.size:
+        out[:, 1] = -out[:, 1]  # coverage back to its natural sign
+    return out
+
+
+def fig6_series(artifacts: DensityArtifacts, mls_name: str = "AEDB-MLS") -> Fig6Series:
+    """Extract the Fig. 6 scatter series from density artefacts."""
+    if mls_name not in artifacts.merged_fronts:
+        raise ValueError(f"no merged front for {mls_name!r}")
+    return Fig6Series(
+        density=artifacts.density,
+        reference=_display(front_matrix(artifacts.reference_front)),
+        mls=_display(front_matrix(artifacts.merged_fronts[mls_name])),
+        domination=artifacts.domination[mls_name],
+    )
+
+
+# --------------------------------------------------------------------- #
+# Fig. 7                                                                #
+# --------------------------------------------------------------------- #
+@dataclass
+class Fig7Data:
+    """Boxplot summaries for one density."""
+
+    density: int
+    #: metric -> algorithm -> BoxplotStats.
+    boxes: dict[str, dict[str, BoxplotStats]] = field(default_factory=dict)
+
+
+def fig7_series(
+    artifacts: DensityArtifacts,
+    algorithms: tuple[str, ...] = ("CellDE", "NSGAII", "AEDB-MLS"),
+) -> Fig7Data:
+    """Boxplot stats of the three indicators (paper Fig. 7 layout)."""
+    data = Fig7Data(density=artifacts.density)
+    for metric in ("spread", "igd", "hypervolume"):
+        data.boxes[metric] = {}
+        for name in algorithms:
+            if name not in artifacts.indicators:
+                continue
+            samples = artifacts.indicators[name].as_mapping()[metric]
+            finite = [v for v in samples if np.isfinite(v)]
+            if finite:
+                data.boxes[metric][name] = boxplot_stats(finite)
+    return data

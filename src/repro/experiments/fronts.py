@@ -1,0 +1,194 @@
+"""Front post-processing: references, normalisation, indicators, domination.
+
+Implements the paper's Sect. VI evaluation pipeline exactly:
+
+1. per density, a **Reference Pareto front** is built from the best
+   solutions of the two MOEAs over all runs (AGA-filtered union);
+2. a **true-front approximation** from *all three* algorithms provides
+   the normalisation bounds;
+3. every per-run front is normalised and scored with spread (generalised,
+   3 objectives), IGD (Eq. 3) and hypervolume;
+4. mutual domination counts are taken between each algorithm's *merged*
+   front and the reference front (the 13/54-style numbers of Sect. VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.runner import Campaign
+from repro.moo.dominance import pareto_dominates
+from repro.moo.indicators import (
+    NormalizationBounds,
+    generalized_spread,
+    hypervolume,
+    inverted_generational_distance,
+)
+from repro.moo.reference import merge_fronts, reference_front_aga
+from repro.moo.solution import FloatSolution
+
+__all__ = [
+    "IndicatorSamples",
+    "DensityArtifacts",
+    "build_density_artifacts",
+    "domination_counts",
+    "front_matrix",
+]
+
+
+def front_matrix(front: Sequence[FloatSolution]) -> np.ndarray:
+    """``(n, m)`` objective matrix of a solution front."""
+    if not front:
+        return np.empty((0, 0))
+    return np.vstack([s.objectives for s in front])
+
+
+def domination_counts(
+    front_a: np.ndarray, front_b: np.ndarray
+) -> tuple[int, int]:
+    """(how many of b are dominated by some a, and vice versa)."""
+    a = np.atleast_2d(front_a)
+    b = np.atleast_2d(front_b)
+    b_dominated = sum(
+        1 for pb in b if any(pareto_dominates(pa, pb) for pa in a)
+    )
+    a_dominated = sum(
+        1 for pa in a if any(pareto_dominates(pb, pa) for pb in b)
+    )
+    return int(b_dominated), int(a_dominated)
+
+
+@dataclass
+class IndicatorSamples:
+    """Per-run indicator values for one (algorithm, density)."""
+
+    algorithm: str
+    density: int
+    spread: list[float] = field(default_factory=list)
+    igd: list[float] = field(default_factory=list)
+    hypervolume: list[float] = field(default_factory=list)
+
+    def as_mapping(self) -> dict[str, list[float]]:
+        """{metric: samples} in Table IV metric naming."""
+        return {
+            "spread": self.spread,
+            "igd": self.igd,
+            "hypervolume": self.hypervolume,
+        }
+
+
+@dataclass
+class DensityArtifacts:
+    """Everything Sect. VI derives for one density."""
+
+    density: int
+    #: AGA-filtered MOEA union (the paper's Reference Pareto front).
+    reference_front: list[FloatSolution]
+    #: Normalisation fitted on the all-algorithm union.
+    bounds: NormalizationBounds
+    #: Per-algorithm indicator samples (keyed by algorithm name).
+    indicators: dict[str, IndicatorSamples]
+    #: Per-algorithm merged fronts (AGA-filtered, like the reference).
+    merged_fronts: dict[str, list[FloatSolution]]
+    #: Per-algorithm (reference points dominated, own points dominated).
+    domination: dict[str, tuple[int, int]]
+
+    def reference_matrix(self) -> np.ndarray:
+        """Objective matrix of the reference front."""
+        return front_matrix(self.reference_front)
+
+
+def _feasible(front: Sequence[FloatSolution]) -> list[FloatSolution]:
+    return [s for s in front if s.is_feasible]
+
+
+def build_density_artifacts(
+    campaigns: dict[str, Campaign],
+    density: int,
+    reference_algorithms: tuple[str, ...] = ("NSGAII", "CellDE"),
+    archive_capacity: int = 100,
+    hv_offset: float = 0.1,
+) -> DensityArtifacts:
+    """Run the full Sect. VI pipeline for one density.
+
+    ``campaigns`` maps algorithm name to its :class:`Campaign` (all of the
+    same density).  Infeasible solutions are dropped before scoring, as in
+    the paper (they violate Eq. 1).
+    """
+    for name, campaign in campaigns.items():
+        if campaign.density != density:
+            raise ValueError(
+                f"campaign {name} is for density {campaign.density}, "
+                f"expected {density}"
+            )
+
+    feasible_runs = {
+        name: [_feasible(front) for front in campaign.fronts]
+        for name, campaign in campaigns.items()
+    }
+
+    # Reference front: the two MOEAs' best, AGA-bounded (paper Fig. 6).
+    moea_fronts = [
+        front
+        for name in reference_algorithms
+        if name in feasible_runs
+        for front in feasible_runs[name]
+    ]
+    if not any(moea_fronts):
+        raise ValueError("reference algorithms produced no feasible points")
+    reference = reference_front_aga(
+        moea_fronts, capacity=archive_capacity, n_objectives=3, rng=0
+    )
+
+    # Normalisation bounds: union over every algorithm (the paper's
+    # "approximation of the true Pareto front").
+    union = merge_fronts(
+        front for fronts in feasible_runs.values() for front in fronts
+    )
+    bounds = NormalizationBounds.from_front(front_matrix(union))
+    ref_norm = bounds.apply(front_matrix(reference))
+    hv_ref_point = bounds.reference_point(hv_offset)
+
+    indicators: dict[str, IndicatorSamples] = {}
+    merged: dict[str, list[FloatSolution]] = {}
+    domination: dict[str, tuple[int, int]] = {}
+    reference_mat = front_matrix(reference)
+
+    for name, fronts in feasible_runs.items():
+        samples = IndicatorSamples(algorithm=name, density=density)
+        for front in fronts:
+            if not front:
+                # A run with no feasible solution scores worst-possible.
+                samples.spread.append(1.0)
+                samples.igd.append(float("inf"))
+                samples.hypervolume.append(0.0)
+                continue
+            norm = bounds.apply(front_matrix(front))
+            samples.spread.append(generalized_spread(norm, ref_norm))
+            samples.igd.append(
+                inverted_generational_distance(norm, ref_norm)
+            )
+            samples.hypervolume.append(
+                hypervolume(norm, hv_ref_point)
+            )
+        indicators[name] = samples
+
+        merged_front = reference_front_aga(
+            fronts, capacity=archive_capacity, n_objectives=3, rng=0
+        )
+        merged[name] = merged_front
+        domination[name] = domination_counts(
+            front_matrix(merged_front), reference_mat
+        )
+
+    return DensityArtifacts(
+        density=density,
+        reference_front=reference,
+        bounds=bounds,
+        indicators=indicators,
+        merged_fronts=merged,
+        domination=domination,
+    )

@@ -1,0 +1,106 @@
+"""JSON persistence for campaign artefacts.
+
+Runs are expensive; benchmarks re-render tables and figures from saved
+artefacts when available.  The format is deliberately plain JSON: solution
+fronts as nested lists, indicator samples as arrays — stable across
+versions and diff-able.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.fronts import IndicatorSamples
+from repro.moo.solution import FloatSolution
+
+__all__ = [
+    "front_to_jsonable",
+    "front_from_jsonable",
+    "save_artifacts",
+    "load_artifacts",
+]
+
+
+def front_to_jsonable(front: list[FloatSolution]) -> list[dict]:
+    """Serialise a solution front to plain data."""
+    return [
+        {
+            "variables": [float(v) for v in s.variables],
+            "objectives": [float(v) for v in s.objectives],
+            "constraint_violation": float(s.constraint_violation),
+        }
+        for s in front
+    ]
+
+
+def front_from_jsonable(payload: list[dict]) -> list[FloatSolution]:
+    """Rebuild a solution front from :func:`front_to_jsonable` output."""
+    out = []
+    for row in payload:
+        sol = FloatSolution(
+            np.asarray(row["variables"], dtype=float),
+            len(row["objectives"]),
+        )
+        sol.objectives = np.asarray(row["objectives"], dtype=float)
+        sol.constraint_violation = float(row["constraint_violation"])
+        out.append(sol)
+    return out
+
+
+def save_artifacts(path: str | Path, artifacts_by_density: dict) -> None:
+    """Persist per-density artefacts (fronts + indicator samples)."""
+    payload = {}
+    for density, art in artifacts_by_density.items():
+        payload[str(density)] = {
+            "density": art.density,
+            "reference_front": front_to_jsonable(art.reference_front),
+            "merged_fronts": {
+                name: front_to_jsonable(front)
+                for name, front in art.merged_fronts.items()
+            },
+            "indicators": {
+                name: samples.as_mapping()
+                for name, samples in art.indicators.items()
+            },
+            "domination": {
+                name: list(counts) for name, counts in art.domination.items()
+            },
+        }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_artifacts(path: str | Path) -> dict:
+    """Load what :func:`save_artifacts` wrote (plain dict form).
+
+    Returns ``{density: {"reference_front": [...], "indicators": {...},
+    ...}}`` with fronts rebuilt as :class:`FloatSolution` lists and
+    indicator samples as :class:`IndicatorSamples`.
+    """
+    raw = json.loads(Path(path).read_text())
+    out: dict[int, dict] = {}
+    for key, entry in raw.items():
+        density = int(key)
+        indicators = {}
+        for name, mapping in entry["indicators"].items():
+            samples = IndicatorSamples(algorithm=name, density=density)
+            samples.spread = [float(v) for v in mapping["spread"]]
+            samples.igd = [float(v) for v in mapping["igd"]]
+            samples.hypervolume = [float(v) for v in mapping["hypervolume"]]
+            indicators[name] = samples
+        out[density] = {
+            "density": density,
+            "reference_front": front_from_jsonable(entry["reference_front"]),
+            "merged_fronts": {
+                name: front_from_jsonable(front)
+                for name, front in entry["merged_fronts"].items()
+            },
+            "indicators": indicators,
+            "domination": {
+                name: tuple(counts)
+                for name, counts in entry["domination"].items()
+            },
+        }
+    return out

@@ -1,0 +1,132 @@
+"""Table generators (paper Tables I and IV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fronts import DensityArtifacts
+from repro.sensitivity.analysis import (
+    OBJECTIVE_NAMES,
+    AEDBSensitivityStudy,
+)
+from repro.sensitivity.summary import Table1Cell, build_table1
+from repro.stats.comparison import (
+    ComparisonCell,
+    pairwise_comparison_table,
+)
+from repro.tuning.evaluation import NetworkSetEvaluator
+
+__all__ = [
+    "Table1Data",
+    "table1",
+    "Table4Data",
+    "table4",
+]
+
+
+# --------------------------------------------------------------------- #
+# Table I                                                               #
+# --------------------------------------------------------------------- #
+@dataclass
+class Table1Data:
+    """Sensitivity summary for one density."""
+
+    density: int
+    cells: list[Table1Cell]
+
+    def cell(self, parameter: str, objective: str) -> Table1Cell:
+        """Look up one (parameter, objective) entry."""
+        for c in self.cells:
+            if c.parameter == parameter and c.objective == objective:
+                return c
+        raise KeyError((parameter, objective))
+
+    def render(self) -> str:
+        """The paper's Table I as aligned text."""
+        params = sorted({c.parameter for c in self.cells})
+        lines = [f"Table I summary (density {self.density} dev/km^2)"]
+        header = f"{'parameter':>22s}" + "".join(
+            f"{obj:>18s}" for obj in OBJECTIVE_NAMES
+        )
+        lines.append(header)
+        for p in params:
+            row = f"{p:>22s}"
+            for obj in OBJECTIVE_NAMES:
+                c = self.cell(p, obj)
+                row += f"{c.arrow + ' ' + c.interaction:>18s}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def table1(
+    density: int,
+    n_networks: int = 3,
+    n_samples: int = 65,
+    probe_points: int = 9,
+    master_seed: int = 0xAEDB,
+) -> Table1Data:
+    """Build Table I from a fresh sensitivity study."""
+    evaluator = NetworkSetEvaluator.for_density(
+        density, n_networks=n_networks, master_seed=master_seed
+    )
+    study = AEDBSensitivityStudy(evaluator, n_samples=n_samples)
+    return Table1Data(
+        density=density, cells=build_table1(study, probe_points=probe_points)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table IV                                                              #
+# --------------------------------------------------------------------- #
+@dataclass
+class Table4Data:
+    """Pairwise Wilcoxon comparison across densities (Table IV)."""
+
+    #: metric -> list of ComparisonCell (one symbol per density each).
+    cells: dict[str, list[ComparisonCell]]
+    densities: tuple[int, ...]
+    algorithms: tuple[str, ...]
+
+    def render(self) -> str:
+        """Aligned text in the paper's triangle layout."""
+        lines = [
+            "Table IV — pairwise Wilcoxon rank-sum at 95% "
+            f"(densities {', '.join(map(str, self.densities))})"
+        ]
+        for metric, cells in self.cells.items():
+            lines.append(f"\n[{metric}]")
+            for cell in cells:
+                lines.append(
+                    f"  {cell.row:>10s} vs {cell.column:<10s}: "
+                    + " ".join(cell.symbols)
+                )
+        return "\n".join(lines)
+
+
+def table4(
+    artifacts_by_density: dict[int, DensityArtifacts],
+    algorithms: tuple[str, ...] = ("CellDE", "NSGAII", "AEDB-MLS"),
+    alpha: float = 0.05,
+) -> Table4Data:
+    """Build Table IV from per-density indicator samples."""
+    densities = tuple(sorted(artifacts_by_density))
+    # samples[algorithm][metric] = [per-density sample arrays]
+    samples: dict[str, dict[str, list]] = {
+        name: {"spread": [], "igd": [], "hypervolume": []}
+        for name in algorithms
+    }
+    for density in densities:
+        artifacts = artifacts_by_density[density]
+        for name in algorithms:
+            mapping = artifacts.indicators[name].as_mapping()
+            for metric in ("spread", "igd", "hypervolume"):
+                finite = [v for v in mapping[metric] if v == v and v != float("inf")]
+                samples[name][metric].append(finite)
+
+    cells = {
+        metric: pairwise_comparison_table(
+            samples, metric, algorithms=algorithms, alpha=alpha
+        )
+        for metric in ("spread", "igd", "hypervolume")
+    }
+    return Table4Data(cells=cells, densities=densities, algorithms=algorithms)

@@ -1,0 +1,46 @@
+"""Discrete-event MANET broadcast simulator (the repo's ns3 substitute).
+
+This subpackage provides everything needed to *score* an AEDB parameter
+configuration the way the paper does with ns3:
+
+* :mod:`repro.manet.mobility` — random-walk node mobility in a bounded
+  square arena (speed and heading redrawn every epoch, reflective walls);
+* :mod:`repro.manet.propagation` — log-distance path loss with the ns3
+  default constants, dBm in / dBm out;
+* :mod:`repro.manet.beacons` — 1 Hz HELLO beaconing that maintains the
+  per-node neighbour tables (neighbour id -> last beacon RX power), the
+  cross-layer information AEDB relies on;
+* :mod:`repro.manet.medium` — the shared radio medium: frame scheduling,
+  half-duplex constraint and SINR-capture collision resolution;
+* :mod:`repro.manet.aedb` — the AEDB protocol state machine (Fig. 1 of the
+  paper): forwarding-area test, delay window with duplicate suppression,
+  and adaptive transmission-power selection;
+* :mod:`repro.manet.simulator` — ties the above into a single broadcast
+  experiment and extracts the four metrics (coverage, energy, forwardings,
+  broadcast time);
+* :mod:`repro.manet.scenarios` — the fixed evaluation networks (10 per
+  density, as in the paper).
+"""
+
+from repro.manet.aedb import AEDBParams
+from repro.manet.config import (
+    MobilityConfig,
+    RadioConfig,
+    SimulationConfig,
+)
+from repro.manet.metrics import BroadcastMetrics
+from repro.manet.scenarios import NetworkScenario, make_scenarios, nodes_for_density
+from repro.manet.simulator import BroadcastSimulator, simulate_broadcast
+
+__all__ = [
+    "AEDBParams",
+    "RadioConfig",
+    "MobilityConfig",
+    "SimulationConfig",
+    "BroadcastMetrics",
+    "BroadcastSimulator",
+    "simulate_broadcast",
+    "NetworkScenario",
+    "make_scenarios",
+    "nodes_for_density",
+]

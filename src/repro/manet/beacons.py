@@ -1,0 +1,121 @@
+"""HELLO beaconing and per-node neighbour tables.
+
+AEDB is a cross-layer protocol: every node broadcasts a HELLO beacon each
+second at the *default* power, and receivers record the RX power of each
+neighbour's latest beacon.  Those recorded powers are the only channel
+knowledge a node has — the forwarding-area membership test and the
+adaptive TX-power estimate are both computed from them (Sect. III of the
+paper).
+
+Beacon rounds are resolved *vectorised*: one ``(n, n)`` path-loss matrix
+per round (the HPC guide's "vectorise the hot loop").  Beacons are assumed
+collision-free — they are tiny, jittered in real systems, and the paper
+uses them only as a neighbour-discovery mechanism; this simplification is
+recorded in DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.manet.config import RadioConfig, SimulationConfig
+from repro.manet.geometry import pairwise_distances
+from repro.manet.mobility import MobilityModel
+from repro.manet.propagation import build_path_loss
+from repro.utils.units import DBM_MINUS_INF
+
+__all__ = ["NeighborTables"]
+
+
+class NeighborTables:
+    """Matrix-backed neighbour tables for all nodes at once.
+
+    ``rx_power[i, j]`` is the RX power (dBm) at node ``i`` of node ``j``'s
+    most recent beacon, and ``last_seen[i, j]`` its timestamp.  An entry is
+    a *live* neighbour at time ``t`` iff a beacon was heard and
+    ``t - last_seen <= neighbor_expiry_s``.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        sim: SimulationConfig,
+        mobility: MobilityModel,
+        radio: RadioConfig | None = None,
+    ):
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        self._sim = sim
+        self._radio = radio or sim.radio
+        self._mobility = mobility
+        self._loss = build_path_loss(self._radio)
+        self.rx_power = np.full((n_nodes, n_nodes), DBM_MINUS_INF)
+        self.last_seen = np.full((n_nodes, n_nodes), -np.inf)
+        self.rounds_run = 0
+
+    # ------------------------------------------------------------------ #
+    # updates                                                            #
+    # ------------------------------------------------------------------ #
+    def beacon_round(self, time_s: float) -> None:
+        """Everyone beacons at default power; update all tables at once."""
+        positions = self._mobility.positions_at(time_s)
+        dist = pairwise_distances(positions)
+        rx = self._loss.rx_power_dbm(self._radio.default_tx_power_dbm, dist)
+        heard = rx >= self._radio.detection_threshold_dbm
+        np.fill_diagonal(heard, False)
+        self.rx_power[heard] = rx[heard]
+        self.last_seen[heard] = time_s
+        self.rounds_run += 1
+
+    def run_schedule(self, start_s: float, end_s: float) -> int:
+        """Run beacon rounds at every interval tick in ``[start, end]``.
+
+        Returns the number of rounds executed.  Used to warm tables up to
+        the broadcast injection time without going through the event queue
+        (beacons never interact with data frames in this model).
+        """
+        interval = self._sim.beacon_interval_s
+        count = 0
+        t = start_s
+        while t <= end_s + 1e-12:
+            self.beacon_round(t)
+            count += 1
+            t += interval
+        return count
+
+    # ------------------------------------------------------------------ #
+    # queries (all from the point of view of node ``i``)                 #
+    # ------------------------------------------------------------------ #
+    def live_mask(self, i: int, time_s: float) -> np.ndarray:
+        """Boolean mask over nodes: fresh neighbour entries of ``i``."""
+        fresh = (time_s - self.last_seen[i]) <= self._sim.neighbor_expiry_s
+        fresh[i] = False
+        return fresh
+
+    def neighbors_of(self, i: int, time_s: float) -> np.ndarray:
+        """Ids of live neighbours of ``i``."""
+        return np.flatnonzero(self.live_mask(i, time_s))
+
+    def beacon_rx_from(self, i: int, j: int) -> float:
+        """Latest beacon RX power at ``i`` from ``j`` (dBm)."""
+        return float(self.rx_power[i, j])
+
+    def link_loss_db(self, i: int, j: int) -> float:
+        """Estimated path loss of link ``i``-``j`` from ``j``'s beacon.
+
+        Beacons are sent at default power, so loss = default - rx; channel
+        reciprocity makes this the loss in both directions, which is what
+        lets a node compute the power needed to *reach* a neighbour.
+        """
+        return self._radio.default_tx_power_dbm - self.beacon_rx_from(i, j)
+
+    def degree(self, i: int, time_s: float) -> int:
+        """Number of live neighbours of node ``i``."""
+        return int(np.count_nonzero(self.live_mask(i, time_s)))
+
+    def mean_degree(self, time_s: float) -> float:
+        """Average node degree — a density diagnostic used by scenarios."""
+        fresh = (time_s - self.last_seen) <= self._sim.neighbor_expiry_s
+        np.fill_diagonal(fresh, False)
+        return float(np.count_nonzero(fresh)) / self.n_nodes

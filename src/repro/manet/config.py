@@ -1,0 +1,145 @@
+"""Configuration dataclasses for the MANET simulator.
+
+The defaults reproduce Table II of the paper plus the ns3 defaults the
+paper inherits implicitly (log-distance propagation constants, energy
+detection threshold, beacon cadence).  All values carry explicit units in
+their names or docstrings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["RadioConfig", "MobilityConfig", "SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Physical-layer model parameters.
+
+    The propagation constants are ns3's ``LogDistancePropagationLossModel``
+    defaults (exponent 3.0, reference loss 46.6777 dB at 1 m), and the
+    detection threshold matches ns3's WiFi energy-detection default of
+    -96 dBm.  With the paper's default transmission power of 16.02 dBm this
+    yields a maximum decode range of ~151 m.
+    """
+
+    #: Default (maximum) transmission power, dBm — Table II.
+    default_tx_power_dbm: float = 16.02
+    #: Minimum power a frame needs at the receiver to be decodable, dBm.
+    detection_threshold_dbm: float = -96.0
+    #: Log-distance path-loss exponent (dimensionless).
+    path_loss_exponent: float = 3.0
+    #: Path loss at the reference distance, dB.
+    reference_loss_db: float = 46.6777
+    #: Reference distance for the path-loss model, m.
+    reference_distance_m: float = 1.0
+    #: SINR (dB) by which the strongest frame must exceed the interference
+    #: power-sum to be captured during a collision.
+    capture_threshold_db: float = 10.0
+    #: Airtime of one broadcast data frame, s (~256 B at 1 Mb/s).
+    frame_airtime_s: float = 0.002
+    #: Lowest transmission power a node may select, dBm.  AEDB reduces
+    #: power adaptively; this floor keeps the model physical.
+    min_tx_power_dbm: float = -40.0
+    #: Propagation family: "log-distance" (paper default), "friis",
+    #: "two-ray" or "shadowed" — see :func:`repro.manet.propagation.build_path_loss`.
+    propagation: str = "log-distance"
+    #: Carrier frequency, GHz (friis / two-ray models only).
+    frequency_ghz: float = 2.4
+    #: Antenna height above ground, m (two-ray model only).
+    antenna_height_m: float = 1.5
+    #: Rough-channel offset scale, dB ("shadowed" model only).
+    shadowing_sigma_db: float = 4.0
+    #: Seed of the deterministic shadowing offsets.
+    shadowing_seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.path_loss_exponent, "path_loss_exponent")
+        check_positive(self.reference_distance_m, "reference_distance_m")
+        check_positive(self.frame_airtime_s, "frame_airtime_s")
+        check_positive(self.capture_threshold_db, "capture_threshold_db", strict=False)
+        check_positive(self.frequency_ghz, "frequency_ghz")
+        check_positive(self.antenna_height_m, "antenna_height_m")
+        check_positive(self.shadowing_sigma_db, "shadowing_sigma_db", strict=False)
+        if self.propagation not in ("log-distance", "friis", "two-ray", "shadowed"):
+            raise ValueError(
+                f"unknown propagation model {self.propagation!r}; choose "
+                "from 'log-distance', 'friis', 'two-ray', 'shadowed'"
+            )
+        if self.min_tx_power_dbm > self.default_tx_power_dbm:
+            raise ValueError(
+                "min_tx_power_dbm must not exceed default_tx_power_dbm "
+                f"({self.min_tx_power_dbm} > {self.default_tx_power_dbm})"
+            )
+
+    @property
+    def max_range_m(self) -> float:
+        """Decode range at default power in free air (no interference)."""
+        from repro.manet.propagation import build_path_loss
+
+        return build_path_loss(self).range_for_budget(
+            self.default_tx_power_dbm - self.detection_threshold_dbm
+        )
+
+
+@dataclass(frozen=True)
+class MobilityConfig:
+    """Random-walk mobility parameters (Table II)."""
+
+    #: Minimum node speed, m/s.
+    speed_min_mps: float = 0.0
+    #: Maximum node speed, m/s (2 m/s = 7.2 km/h in the paper).
+    speed_max_mps: float = 2.0
+    #: Direction & speed are redrawn every this many seconds.
+    epoch_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.epoch_s, "epoch_s")
+        check_positive(self.speed_min_mps, "speed_min_mps", strict=False)
+        if self.speed_max_mps < self.speed_min_mps:
+            raise ValueError(
+                f"speed_max_mps ({self.speed_max_mps}) < "
+                f"speed_min_mps ({self.speed_min_mps})"
+            )
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Experiment timeline and arena parameters (Table II / Sect. V).
+
+    The network evolves (mobility + beaconing) for ``warmup_s`` seconds so
+    nodes are well distributed and neighbour tables are warm; the source
+    then broadcasts, and the simulation stops at ``horizon_s``.
+    """
+
+    #: Side of the square arena, m.
+    area_side_m: float = 500.0
+    #: Broadcast injection time, s.
+    warmup_s: float = 30.0
+    #: Absolute end of simulation, s.
+    horizon_s: float = 40.0
+    #: HELLO beacon period, s (Sect. III: "every 1 second").
+    beacon_interval_s: float = 1.0
+    #: Neighbour-table entries expire after this many seconds without a
+    #: fresh beacon (2.5 s = tolerate one lost beacon).
+    neighbor_expiry_s: float = 2.5
+    #: Uniform random medium-access jitter applied before any data
+    #: transmission, s.  Desynchronises timers that expire simultaneously.
+    mac_jitter_s: float = 0.0005
+    radio: RadioConfig = field(default_factory=RadioConfig)
+    mobility: MobilityConfig = field(default_factory=MobilityConfig)
+
+    def __post_init__(self) -> None:
+        check_positive(self.area_side_m, "area_side_m")
+        check_positive(self.beacon_interval_s, "beacon_interval_s")
+        check_positive(self.neighbor_expiry_s, "neighbor_expiry_s")
+        check_positive(self.mac_jitter_s, "mac_jitter_s", strict=False)
+        check_in_range(self.warmup_s, "warmup_s", 0.0, self.horizon_s)
+
+    @property
+    def broadcast_window_s(self) -> float:
+        """Time available for the dissemination to complete, s."""
+        return self.horizon_s - self.warmup_s

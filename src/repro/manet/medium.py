@@ -1,0 +1,190 @@
+"""The shared radio medium: frame transmission and collision resolution.
+
+Model (a deliberate abstraction of ns3's 802.11 PHY, documented in
+DESIGN.md §4/§7):
+
+* A data frame occupies the single shared channel for ``frame_airtime_s``.
+* Reception is resolved at frame end.  A receiver decodes the frame iff
+
+  1. it is not itself transmitting during any overlap (half duplex),
+  2. the frame's RX power clears the detection threshold, and
+  3. the frame's RX power exceeds the *power sum* of all time-overlapping
+     other frames at that receiver by at least ``capture_threshold_db``
+     (SINR capture; interferers below the detection threshold still count
+     toward the interference sum).
+
+* Propagation delay (d/c, < 2 µs at these ranges) is folded into the
+  frame-end timestamp and is irrelevant next to millisecond airtimes, so
+  positions are sampled at the frame midpoint.
+
+The medium knows nothing about AEDB: it reports per-receiver outcomes to a
+delivery callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.manet.config import RadioConfig
+from repro.manet.events import EventQueue
+from repro.manet.mobility import MobilityModel
+from repro.manet.propagation import build_path_loss
+from repro.utils.units import dbm_to_mw
+
+__all__ = ["Frame", "RadioMedium"]
+
+
+@dataclass
+class Frame:
+    """One in-flight broadcast data frame."""
+
+    sender: int
+    tx_power_dbm: float
+    start_s: float
+    end_s: float
+    #: Sequence number assigned by the medium (stable ordering).
+    seq: int = 0
+    #: Receivers that successfully decoded this frame (filled at resolution).
+    delivered_to: list[int] = field(default_factory=list)
+
+    def overlaps(self, other: "Frame") -> bool:
+        """True if the two frames share any airtime."""
+        return self.start_s < other.end_s and other.start_s < self.end_s
+
+
+#: Delivery callback signature: (receiver, frame, rx_power_dbm, time_s).
+DeliveryCallback = Callable[[int, Frame, float, float], None]
+
+
+class RadioMedium:
+    """Single-channel broadcast medium with SINR capture.
+
+    Parameters
+    ----------
+    queue:
+        The simulation's event queue (frame-end events are scheduled on it).
+    mobility:
+        Position oracle for path-loss computation.
+    radio:
+        Physical-layer constants.
+    on_delivery:
+        Called once per (receiver, frame) successful decode.
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        mobility: MobilityModel,
+        radio: RadioConfig,
+        on_delivery: DeliveryCallback,
+    ):
+        self._queue = queue
+        self._mobility = mobility
+        self._radio = radio
+        self._loss = build_path_loss(radio)
+        self._on_delivery = on_delivery
+        self._active: list[Frame] = []
+        self._recent: list[Frame] = []  # ended frames kept for overlap checks
+        self._seq = 0
+        #: All frames ever transmitted (for metrics/inspection).
+        self.history: list[Frame] = []
+
+    # ------------------------------------------------------------------ #
+    # transmission                                                       #
+    # ------------------------------------------------------------------ #
+    def transmit(self, sender: int, tx_power_dbm: float, time_s: float) -> Frame:
+        """Start a frame at ``time_s``; resolution happens at frame end."""
+        power = float(
+            np.clip(
+                tx_power_dbm,
+                self._radio.min_tx_power_dbm,
+                self._radio.default_tx_power_dbm,
+            )
+        )
+        frame = Frame(
+            sender=sender,
+            tx_power_dbm=power,
+            start_s=time_s,
+            end_s=time_s + self._radio.frame_airtime_s,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self._active.append(frame)
+        self.history.append(frame)
+        self._queue.schedule(frame.end_s, lambda t, f=frame: self._resolve(f, t))
+        return frame
+
+    # ------------------------------------------------------------------ #
+    # resolution                                                         #
+    # ------------------------------------------------------------------ #
+    def _overlapping(self, frame: Frame) -> list[Frame]:
+        """All other frames sharing airtime with ``frame``."""
+        pool = self._active + self._recent
+        return [f for f in pool if f is not frame and f.overlaps(frame)]
+
+    def _resolve(self, frame: Frame, time_s: float) -> None:
+        """Frame-end event: decide which nodes decoded ``frame``."""
+        self._active.remove(frame)
+        # Keep the frame around for overlap checks against transmissions
+        # that started during its airtime and have not yet ended.
+        self._recent.append(frame)
+        self._gc_recent(time_s)
+
+        positions = self._mobility.positions_at(
+            0.5 * (frame.start_s + frame.end_s)
+        )
+        n = positions.shape[0]
+        sender_pos = positions[frame.sender]
+        diff = positions - sender_pos[None, :]
+        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        rx_dbm = self._loss.rx_power_dbm(frame.tx_power_dbm, dist)
+
+        overlap = self._overlapping(frame)
+        # Interference power sum per receiver, in mW.
+        interference_mw = np.zeros(n)
+        busy_tx = {frame.sender}
+        for other in overlap:
+            busy_tx.add(other.sender)
+            other_pos = positions[other.sender]
+            odiff = positions - other_pos[None, :]
+            odist = np.sqrt(np.einsum("ij,ij->i", odiff, odiff))
+            interference_mw += dbm_to_mw(
+                self._loss.rx_power_dbm(other.tx_power_dbm, odist)
+            )
+
+        detect = rx_dbm >= self._radio.detection_threshold_dbm
+        signal_mw = dbm_to_mw(rx_dbm)
+        capture_lin = 10.0 ** (self._radio.capture_threshold_db / 10.0)
+        with np.errstate(divide="ignore"):
+            clear = np.where(
+                interference_mw > 0.0,
+                signal_mw >= capture_lin * interference_mw,
+                True,
+            )
+
+        for receiver in range(n):
+            if receiver in busy_tx:
+                continue  # half duplex / own frame
+            if detect[receiver] and clear[receiver]:
+                frame.delivered_to.append(receiver)
+                self._on_delivery(receiver, frame, float(rx_dbm[receiver]), time_s)
+
+    def _gc_recent(self, time_s: float) -> None:
+        """Drop ended frames that can no longer overlap anything new."""
+        window = 2.0 * self._radio.frame_airtime_s
+        self._recent = [f for f in self._recent if f.end_s >= time_s - window]
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                      #
+    # ------------------------------------------------------------------ #
+    @property
+    def transmission_count(self) -> int:
+        """Total frames ever put on the air."""
+        return len(self.history)
+
+    def energy_dbm_total(self) -> float:
+        """Sum of TX powers in raw dBm — the paper's energy objective."""
+        return float(sum(f.tx_power_dbm for f in self.history))

@@ -1,0 +1,209 @@
+"""Shared state-machine scaffolding for broadcast protocols.
+
+Every suppression scheme in the broadcast-storm literature follows the
+same skeleton: the first copy of the message puts the node into a
+*waiting* state (possibly with an assessment timer armed), duplicates
+heard while waiting feed the suppression statistic, and when the timer
+fires the node either forwards once or drops.  :class:`BroadcastProtocol`
+implements that skeleton — reception bookkeeping, timer management,
+transmission with MAC jitter, decision logging — and subclasses supply
+only the three scheme-specific hooks:
+
+* :meth:`BroadcastProtocol._on_first_copy` — first reception;
+* :meth:`BroadcastProtocol._on_duplicate` — copies heard while waiting;
+* :meth:`BroadcastProtocol._on_timer` — the forwarding decision.
+
+The interface (``start_broadcast`` / ``on_receive`` driven by the radio
+medium) matches :class:`repro.manet.aedb.AEDBProtocol`, so the generic
+:class:`~repro.manet.protocols.runner.ProtocolSimulator` can run either.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.manet.beacons import NeighborTables
+from repro.manet.config import RadioConfig
+from repro.manet.events import EventHandle, EventQueue
+from repro.utils.rng import as_generator
+
+__all__ = ["NodePhase", "ProtocolContext", "BroadcastProtocol"]
+
+
+class NodePhase(enum.Enum):
+    """Per-node phase for the current broadcast message."""
+
+    IDLE = "idle"  # never received the message
+    WAITING = "waiting"  # received; assessment timer armed
+    DROPPED = "dropped"  # received; decided not to forward
+    FORWARDED = "forwarded"  # received and retransmitted
+
+
+#: Transmit callback: (sender, tx_power_dbm, time_s) -> None
+TransmitFn = Callable[[int, float, float], None]
+
+
+@dataclass
+class ProtocolContext:
+    """Everything the simulator wires into a protocol instance.
+
+    A protocol factory receives one of these and returns a protocol
+    object; the indirection keeps protocol constructors free to take
+    scheme parameters while the runner stays scheme-agnostic.
+    """
+
+    n_nodes: int
+    queue: EventQueue
+    tables: NeighborTables
+    radio: RadioConfig
+    transmit: TransmitFn
+    rng: np.random.Generator
+    mac_jitter_s: float = 0.0005
+
+
+class BroadcastProtocol:
+    """Base class: one dissemination attempt over ``n_nodes`` devices.
+
+    Subclasses decide *whether and when* a node forwards; the base class
+    owns every piece of bookkeeping the metrics and the medium need.
+    """
+
+    #: Human-readable scheme label (overridden by subclasses).
+    name = "base"
+
+    def __init__(self, ctx: ProtocolContext):
+        self.ctx = ctx
+        self.n_nodes = int(ctx.n_nodes)
+        if self.n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {ctx.n_nodes}")
+        self._queue = ctx.queue
+        self._radio = ctx.radio
+        self._transmit = ctx.transmit
+        self._rng = as_generator(ctx.rng)
+        self._mac_jitter_s = float(ctx.mac_jitter_s)
+
+        self.phase = [NodePhase.IDLE] * self.n_nodes
+        #: Time of first successful reception per node (NaN = never).
+        self.first_rx_time = np.full(self.n_nodes, np.nan)
+        #: Copies of the message heard per node (first + duplicates).
+        self.copies_heard = np.zeros(self.n_nodes, dtype=int)
+        #: Nodes this node heard the message *from* (they already have it).
+        self._heard_from: list[set[int]] = [set() for _ in range(self.n_nodes)]
+        self._timers: list[EventHandle | None] = [None] * self.n_nodes
+        #: Decision log ``(time, node, what)`` for tests and diagnostics.
+        self.decisions: list[tuple[float, int, str]] = []
+
+    # ------------------------------------------------------------------ #
+    # message origin                                                     #
+    # ------------------------------------------------------------------ #
+    def start_broadcast(self, source: int, time_s: float) -> None:
+        """Source node seeds the dissemination at the default power."""
+        if not (0 <= source < self.n_nodes):
+            raise ValueError(f"source {source} out of range")
+        self.phase[source] = NodePhase.FORWARDED
+        self.first_rx_time[source] = time_s
+        self.decisions.append((time_s, source, "source"))
+        self._transmit(source, self._radio.default_tx_power_dbm, time_s)
+
+    # ------------------------------------------------------------------ #
+    # reception path                                                     #
+    # ------------------------------------------------------------------ #
+    def on_receive(
+        self, node: int, sender: int, rx_power_dbm: float, time_s: float
+    ) -> None:
+        """Radio delivered a copy of the message to ``node``."""
+        self._heard_from[node].add(sender)
+        self.copies_heard[node] += 1
+        state = self.phase[node]
+        if state is NodePhase.IDLE:
+            self.first_rx_time[node] = time_s
+            self._on_first_copy(node, sender, rx_power_dbm, time_s)
+        elif state is NodePhase.WAITING:
+            self._on_duplicate(node, sender, rx_power_dbm, time_s)
+        # DROPPED / FORWARDED: the decision is final; duplicates ignored.
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks                                                     #
+    # ------------------------------------------------------------------ #
+    def _on_first_copy(
+        self, node: int, sender: int, rx_power_dbm: float, time_s: float
+    ) -> None:
+        """Decide the node's reaction to its first copy of the message."""
+        raise NotImplementedError
+
+    def _on_duplicate(
+        self, node: int, sender: int, rx_power_dbm: float, time_s: float
+    ) -> None:
+        """React to a copy heard while WAITING (default: ignore)."""
+
+    def _on_timer(self, node: int, time_s: float) -> None:
+        """Assessment timer fired; make the forwarding decision."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # shared actions for subclasses                                      #
+    # ------------------------------------------------------------------ #
+    def _arm_timer(self, node: int, time_s: float, delay_s: float) -> None:
+        """Move ``node`` to WAITING with the assessment timer armed."""
+        self.phase[node] = NodePhase.WAITING
+        self._timers[node] = self._queue.schedule(
+            time_s + max(delay_s, 0.0),
+            lambda t, n=node: self._fire_timer(n, t),
+        )
+        self.decisions.append((time_s, node, f"arm:{delay_s:.4f}"))
+
+    def _fire_timer(self, node: int, time_s: float) -> None:
+        self._timers[node] = None
+        if self.phase[node] is not NodePhase.WAITING:
+            return
+        self._on_timer(node, time_s)
+
+    def _forward(
+        self, node: int, time_s: float, power_dbm: float | None = None
+    ) -> None:
+        """Retransmit at ``power_dbm`` (default: full power) + MAC jitter."""
+        power = (
+            self._radio.default_tx_power_dbm if power_dbm is None else power_dbm
+        )
+        self.phase[node] = NodePhase.FORWARDED
+        self.decisions.append((time_s, node, f"forward:{power:.2f}dBm"))
+        jitter = (
+            float(self._rng.uniform(0.0, self._mac_jitter_s))
+            if self._mac_jitter_s > 0
+            else 0.0
+        )
+        self._transmit(node, power, time_s + jitter)
+
+    def _drop(self, node: int, time_s: float, reason: str) -> None:
+        """Final negative decision for ``node``."""
+        self.phase[node] = NodePhase.DROPPED
+        self.decisions.append((time_s, node, f"drop:{reason}"))
+
+    def _draw_delay(self, interval: tuple[float, float]) -> float:
+        """Uniform draw from an (ordered, clamped-at-zero) delay window."""
+        lo, hi = interval
+        lo, hi = (lo, hi) if lo <= hi else (hi, lo)
+        lo, hi = max(lo, 0.0), max(hi, 0.0)
+        return float(self._rng.uniform(lo, hi)) if hi > lo else lo
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                      #
+    # ------------------------------------------------------------------ #
+    def covered_nodes(self) -> np.ndarray:
+        """Ids of nodes that received the message (including the source)."""
+        return np.flatnonzero(~np.isnan(self.first_rx_time))
+
+    def forwarder_nodes(self) -> np.ndarray:
+        """Ids of nodes that (re)transmitted, including the source."""
+        return np.array(
+            [
+                i
+                for i in range(self.n_nodes)
+                if self.phase[i] is NodePhase.FORWARDED
+            ],
+            dtype=int,
+        )

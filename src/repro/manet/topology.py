@@ -1,0 +1,106 @@
+"""Connectivity diagnostics of a network snapshot (networkx-backed).
+
+Not part of the paper's pipeline, but indispensable when judging its
+results: a broadcast can only ever cover the source's connected
+component, so coverage ceilings, the two-cluster front structure, and
+the density-dependent behaviour of AEDB all trace back to these graph
+properties.  Used by the scenario tests and the extended examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.manet.config import RadioConfig
+from repro.manet.geometry import pairwise_distances
+from repro.manet.mobility import MobilityModel
+from repro.manet.propagation import LogDistancePathLoss
+from repro.manet.scenarios import NetworkScenario
+
+__all__ = ["TopologySnapshot", "snapshot", "scenario_snapshot"]
+
+
+@dataclass(frozen=True)
+class TopologySnapshot:
+    """Connectivity facts about one instant of one network."""
+
+    time_s: float
+    n_nodes: int
+    #: Number of undirected radio links at default power.
+    n_links: int
+    mean_degree: float
+    #: Sizes of connected components, descending.
+    component_sizes: tuple[int, ...]
+    #: Size of the component containing the broadcast source (0-size if
+    #: no source was given).
+    source_component: int
+    #: The graph itself, for custom analyses.
+    graph: nx.Graph
+
+    @property
+    def is_connected(self) -> bool:
+        """True when a broadcast could reach every node."""
+        return len(self.component_sizes) == 1
+
+    @property
+    def coverage_ceiling(self) -> int:
+        """Max devices (excl. source) any broadcast from the source can
+        reach at this instant."""
+        return max(self.source_component - 1, 0)
+
+
+def snapshot(
+    positions: np.ndarray,
+    radio: RadioConfig | None = None,
+    time_s: float = 0.0,
+    source: int | None = None,
+) -> TopologySnapshot:
+    """Build the default-power connectivity graph of a position set."""
+    radio = radio or RadioConfig()
+    pos = np.asarray(positions, dtype=float)
+    n = pos.shape[0]
+    loss = LogDistancePathLoss.from_config(radio)
+    rx = loss.rx_power_dbm(radio.default_tx_power_dbm, pairwise_distances(pos))
+    adjacency = rx >= radio.detection_threshold_dbm
+    np.fill_diagonal(adjacency, False)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    rows, cols = np.nonzero(np.triu(adjacency, k=1))
+    graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+
+    components = sorted(
+        (len(c) for c in nx.connected_components(graph)), reverse=True
+    )
+    if source is not None:
+        source_component = len(nx.node_connected_component(graph, source))
+    else:
+        source_component = 0
+    return TopologySnapshot(
+        time_s=float(time_s),
+        n_nodes=n,
+        n_links=graph.number_of_edges(),
+        mean_degree=2.0 * graph.number_of_edges() / max(n, 1),
+        component_sizes=tuple(components),
+        source_component=source_component,
+        graph=graph,
+    )
+
+
+def scenario_snapshot(
+    scenario: NetworkScenario,
+    time_s: float | None = None,
+    mobility: MobilityModel | None = None,
+) -> TopologySnapshot:
+    """Snapshot one evaluation network (at broadcast time by default)."""
+    mob = mobility or scenario.build_mobility()
+    t = scenario.sim.warmup_s if time_s is None else float(time_s)
+    return snapshot(
+        mob.positions_at(t),
+        radio=scenario.sim.radio,
+        time_s=t,
+        source=scenario.source,
+    )

@@ -1,0 +1,96 @@
+"""Multi-objective optimisation framework (the repo's jMetal substitute).
+
+Layers:
+
+* representation — :class:`FloatSolution`, :class:`Problem`;
+* comparison — constraint-aware Pareto dominance, fast non-dominated
+  sorting, crowding distance;
+* variation — SBX, polynomial mutation, BLX-α, DE/rand/1/bin;
+* archives — unbounded, crowding-bounded, and the Adaptive Grid Archive
+  (PAES) used by AEDB-MLS;
+* algorithms — NSGA-II, CellDE, MOCell, PAES, SPEA2, random-search
+  baseline;
+* indicators — hypervolume, IGD, (generalised) spread, additive epsilon,
+  plus the normalisation the paper applies before computing them;
+* problems — ZDT/DTLZ/classic validation suite with analytic fronts.
+"""
+
+from repro.moo.algorithms import (
+    AlgorithmResult,
+    CellDE,
+    EvolutionaryAlgorithm,
+    MOCell,
+    NSGAII,
+    PAES,
+    RandomSearch,
+    SPEA2,
+)
+from repro.moo.archive import (
+    AdaptiveGridArchive,
+    CrowdingDistanceArchive,
+    EpsilonArchive,
+    UnboundedArchive,
+)
+from repro.moo.density import assign_crowding_distance, crowding_distance_of
+from repro.moo.dominance import compare, dominates, non_dominated, pareto_dominates
+from repro.moo.indicators import (
+    NormalizationBounds,
+    additive_epsilon,
+    generalized_spread,
+    hypervolume,
+    inverted_generational_distance,
+    spread,
+)
+from repro.moo.problem import Problem
+from repro.moo.ranking import fast_non_dominated_sort
+from repro.moo.reference import merge_fronts, objectives_union, reference_front_aga
+from repro.moo.solution import FloatSolution
+from repro.moo.tracking import Checkpoint, ConvergenceHistory, TrackedProblem
+from repro.moo.variation import (
+    BLXAlphaCrossover,
+    DifferentialEvolutionCrossover,
+    PolynomialMutation,
+    SBXCrossover,
+    UniformMutation,
+)
+
+__all__ = [
+    "FloatSolution",
+    "Problem",
+    "compare",
+    "dominates",
+    "pareto_dominates",
+    "non_dominated",
+    "fast_non_dominated_sort",
+    "assign_crowding_distance",
+    "crowding_distance_of",
+    "UnboundedArchive",
+    "CrowdingDistanceArchive",
+    "AdaptiveGridArchive",
+    "EpsilonArchive",
+    "SBXCrossover",
+    "PolynomialMutation",
+    "BLXAlphaCrossover",
+    "DifferentialEvolutionCrossover",
+    "UniformMutation",
+    "EvolutionaryAlgorithm",
+    "AlgorithmResult",
+    "NSGAII",
+    "CellDE",
+    "MOCell",
+    "PAES",
+    "SPEA2",
+    "RandomSearch",
+    "hypervolume",
+    "inverted_generational_distance",
+    "spread",
+    "generalized_spread",
+    "additive_epsilon",
+    "NormalizationBounds",
+    "merge_fronts",
+    "reference_front_aga",
+    "objectives_union",
+    "TrackedProblem",
+    "ConvergenceHistory",
+    "Checkpoint",
+]

@@ -1,0 +1,36 @@
+"""Multi-objective metaheuristics.
+
+* :class:`NSGAII` — Deb et al. 2002, one of the paper's two comparators;
+* :class:`CellDE` — Durillo et al. 2008 (cellular GA + differential
+  evolution + bounded external archive), the other comparator;
+* :class:`MOCell` — Nebro et al. 2007, the cellular GA CellDE derives
+  from (SBX/PM variation on the same grid);
+* :class:`PAES` — Knowles & Corne 2000, the (1+1) strategy the Adaptive
+  Grid Archive comes from;
+* :class:`SPEA2` — Zitzler et al. 2001, strength-Pareto fitness with
+  nearest-neighbour truncation;
+* :class:`RandomSearch` — archive-filtered uniform sampling, the sanity
+  baseline used by the extended ablations.
+
+AEDB-MLS itself lives in :mod:`repro.core` (it is the paper's
+contribution, not part of the comparator substrate).
+"""
+
+from repro.moo.algorithms.base import AlgorithmResult, EvolutionaryAlgorithm
+from repro.moo.algorithms.cellde import CellDE
+from repro.moo.algorithms.mocell import MOCell
+from repro.moo.algorithms.nsgaii import NSGAII
+from repro.moo.algorithms.paes import PAES
+from repro.moo.algorithms.random_search import RandomSearch
+from repro.moo.algorithms.spea2 import SPEA2
+
+__all__ = [
+    "AlgorithmResult",
+    "EvolutionaryAlgorithm",
+    "NSGAII",
+    "CellDE",
+    "MOCell",
+    "PAES",
+    "SPEA2",
+    "RandomSearch",
+]

@@ -1,0 +1,115 @@
+"""Common machinery for the population-based optimisers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.moo.dominance import non_dominated
+from repro.moo.problem import Problem
+from repro.moo.solution import FloatSolution
+from repro.utils.rng import as_generator
+
+__all__ = ["AlgorithmResult", "EvolutionaryAlgorithm"]
+
+
+@dataclass
+class AlgorithmResult:
+    """Outcome of one optimiser run."""
+
+    #: Final non-dominated solution set (the front approximation).
+    front: list[FloatSolution]
+    #: Objective evaluations actually spent.
+    evaluations: int
+    #: Wall-clock runtime, seconds.
+    runtime_s: float
+    #: Algorithm label (for reports).
+    algorithm: str
+    #: Extra per-run information (engine stats, generation counts, ...).
+    info: dict = field(default_factory=dict)
+
+    def objectives_matrix(self) -> np.ndarray:
+        """``(n, m)`` matrix of front objectives."""
+        if not self.front:
+            return np.empty((0, 0))
+        return np.vstack([s.objectives for s in self.front])
+
+    def feasible_front(self) -> list[FloatSolution]:
+        """Front members satisfying all constraints."""
+        return [s for s in self.front if s.is_feasible]
+
+
+class EvolutionaryAlgorithm:
+    """Base class: evaluation budget accounting and the run skeleton.
+
+    Subclasses implement :meth:`_initialise` and :meth:`_step`; the base
+    drives them until the evaluation budget is exhausted and assembles an
+    :class:`AlgorithmResult` from :meth:`_current_front`.
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        problem: Problem,
+        max_evaluations: int,
+        rng: np.random.Generator | int | None = None,
+    ):
+        if max_evaluations <= 0:
+            raise ValueError(
+                f"max_evaluations must be positive, got {max_evaluations}"
+            )
+        self.problem = problem
+        self.max_evaluations = int(max_evaluations)
+        self.rng = as_generator(rng)
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, solution: FloatSolution) -> FloatSolution:
+        """Evaluate through the problem, counting against the budget."""
+        self.problem.evaluate(solution)
+        self.evaluations += 1
+        return solution
+
+    def evaluate_all(self, solutions) -> list[FloatSolution]:
+        """Evaluate a batch, counting each against the budget."""
+        for s in solutions:
+            self.evaluate(s)
+        return list(solutions)
+
+    @property
+    def budget_left(self) -> int:
+        """Evaluations remaining before termination."""
+        return max(self.max_evaluations - self.evaluations, 0)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> AlgorithmResult:
+        """Execute until the evaluation budget is exhausted."""
+        start = time.perf_counter()
+        self._initialise()
+        while self.budget_left > 0:
+            self._step()
+        runtime = time.perf_counter() - start
+        front = non_dominated(self._current_front())
+        return AlgorithmResult(
+            front=[s.copy() for s in front],
+            evaluations=self.evaluations,
+            runtime_s=runtime,
+            algorithm=self.name,
+            info=self._run_info(),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _initialise(self) -> None:
+        raise NotImplementedError
+
+    def _step(self) -> None:
+        raise NotImplementedError
+
+    def _current_front(self) -> list[FloatSolution]:
+        raise NotImplementedError
+
+    def _run_info(self) -> dict:
+        return {}

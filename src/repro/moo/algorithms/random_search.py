@@ -1,0 +1,52 @@
+"""Archive-filtered random search.
+
+Uniform sampling of the decision box with a bounded non-dominated archive.
+Not part of the paper's comparison; serves as the sanity baseline for the
+extended ablations (any competent metaheuristic must beat it at equal
+budget) and as a cheap front generator in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.moo.algorithms.base import EvolutionaryAlgorithm
+from repro.moo.archive import CrowdingDistanceArchive
+from repro.moo.problem import Problem
+from repro.moo.solution import FloatSolution
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(EvolutionaryAlgorithm):
+    """Uniform sampling + non-dominated archive."""
+
+    name = "RandomSearch"
+
+    def __init__(
+        self,
+        problem: Problem,
+        max_evaluations: int,
+        archive_capacity: int = 100,
+        batch_size: int = 32,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__(problem, max_evaluations, rng)
+        self.archive = CrowdingDistanceArchive(archive_capacity)
+        self.batch_size = max(int(batch_size), 1)
+
+    def _initialise(self) -> None:
+        return None
+
+    def _step(self) -> None:
+        n = min(self.batch_size, self.budget_left)
+        for _ in range(n):
+            sol = self.problem.create_solution(self.rng)
+            self.evaluate(sol)
+            self.archive.add(sol)
+
+    def _current_front(self) -> list[FloatSolution]:
+        return self.archive.members
+
+    def _run_info(self) -> dict:
+        return {"archive_size": len(self.archive)}

@@ -1,0 +1,192 @@
+"""SPEA2 (Zitzler, Laumanns, Thiele 2001).
+
+The Strength Pareto Evolutionary Algorithm 2 — the third classic MOEA of
+the early-2000s toolbox next to NSGA-II and PAES, added here as an extra
+reference point for the Table IV-style comparisons.
+
+Fitness assignment over the union of population and archive:
+
+* strength ``S(i)`` = number of solutions ``i`` dominates;
+* raw fitness ``R(i)`` = sum of the strengths of ``i``'s dominators
+  (0 for non-dominated solutions);
+* density ``D(i) = 1 / (sigma_k + 2)`` with ``sigma_k`` the distance to
+  the k-th nearest neighbour in objective space, ``k = sqrt(N + Nbar)``;
+* ``F(i) = R(i) + D(i)`` — smaller is better, ``F < 1`` iff non-dominated.
+
+Environmental selection copies all non-dominated solutions into the next
+archive, truncates overflow by iteratively removing the member with the
+lexicographically smallest nearest-neighbour distance vector, and fills
+underflow with the best dominated solutions.  Dominance uses the
+framework's constraint-domination, consistent with the other optimisers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.moo.algorithms.base import EvolutionaryAlgorithm
+from repro.moo.dominance import compare, non_dominated
+from repro.moo.problem import Problem
+from repro.moo.solution import FloatSolution
+from repro.moo.variation import PolynomialMutation, SBXCrossover
+
+__all__ = ["SPEA2"]
+
+
+class SPEA2(EvolutionaryAlgorithm):
+    """Strength-Pareto EA with nearest-neighbour density and truncation."""
+
+    name = "SPEA2"
+
+    def __init__(
+        self,
+        problem: Problem,
+        max_evaluations: int,
+        population_size: int = 100,
+        archive_size: int | None = None,
+        crossover: SBXCrossover | None = None,
+        mutation: PolynomialMutation | None = None,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__(problem, max_evaluations, rng)
+        if population_size < 4 or population_size % 2:
+            raise ValueError(
+                f"population_size must be an even number >= 4, got {population_size}"
+            )
+        self.population_size = int(population_size)
+        self.archive_size = int(archive_size or population_size)
+        if self.archive_size < 2:
+            raise ValueError(f"archive_size must be >= 2, got {self.archive_size}")
+        self.crossover = crossover or SBXCrossover(probability=0.9, eta=20.0)
+        self.mutation = mutation or PolynomialMutation(eta=20.0)
+        self.population: list[FloatSolution] = []
+        self.archive: list[FloatSolution] = []
+        self.generations = 0
+
+    # ------------------------------------------------------------------ #
+    # fitness assignment                                                 #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _domination_matrix(union: list[FloatSolution]) -> np.ndarray:
+        """``d[i, j]`` True iff ``union[i]`` constraint-dominates ``union[j]``."""
+        n = len(union)
+        d = np.zeros((n, n), dtype=bool)
+        for i in range(n):
+            for j in range(i + 1, n):
+                c = compare(union[i], union[j])
+                if c == -1:
+                    d[i, j] = True
+                elif c == 1:
+                    d[j, i] = True
+        return d
+
+    @staticmethod
+    def _distance_matrix(union: list[FloatSolution]) -> np.ndarray:
+        objs = np.vstack([s.objectives for s in union])
+        diff = objs[:, None, :] - objs[None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        np.fill_diagonal(dist, np.inf)
+        return dist
+
+    def _assign_fitness(self, union: list[FloatSolution]) -> np.ndarray:
+        """SPEA2 fitness ``F = R + D`` for every member of the union."""
+        n = len(union)
+        dominates = self._domination_matrix(union)
+        strength = dominates.sum(axis=1).astype(float)  # S(i)
+        raw = np.array(
+            [strength[dominates[:, j]].sum() for j in range(n)]
+        )  # R(j): strengths of j's dominators
+        dist = self._distance_matrix(union)
+        k = max(1, int(np.sqrt(n)))
+        # Distance to the k-th nearest neighbour (k-th smallest per row).
+        sigma_k = np.sort(dist, axis=1)[:, min(k, n - 1) - 1] if n > 1 else np.ones(n)
+        density = 1.0 / (sigma_k + 2.0)
+        fitness = raw + density
+        for sol, f in zip(union, fitness):
+            sol.attributes["spea2_fitness"] = float(f)
+        return fitness
+
+    # ------------------------------------------------------------------ #
+    # environmental selection                                            #
+    # ------------------------------------------------------------------ #
+    def _environmental_selection(
+        self, union: list[FloatSolution], fitness: np.ndarray
+    ) -> list[FloatSolution]:
+        non_dom_idx = np.flatnonzero(fitness < 1.0)
+        if non_dom_idx.size <= self.archive_size:
+            # Underflow: top up with the best dominated solutions.
+            order = np.argsort(fitness, kind="stable")
+            chosen = list(order[: self.archive_size])
+            return [union[int(i)] for i in chosen]
+        # Overflow: iterative nearest-neighbour truncation.
+        keep = [int(i) for i in non_dom_idx]
+        dist = self._distance_matrix([union[i] for i in keep])
+        while len(keep) > self.archive_size:
+            m = len(keep)
+            # Lexicographic comparison of sorted distance rows: the member
+            # with the smallest nearest neighbour (ties broken by the next
+            # nearest, ...) is removed.
+            sorted_rows = np.sort(dist[:m, :m], axis=1)
+            victim = 0
+            for i in range(1, m):
+                for a, b in zip(sorted_rows[i], sorted_rows[victim]):
+                    if a < b:
+                        victim = i
+                        break
+                    if a > b:
+                        break
+            keep.pop(victim)
+            dist = np.delete(np.delete(dist, victim, axis=0), victim, axis=1)
+        return [union[i] for i in keep]
+
+    # ------------------------------------------------------------------ #
+    # generational loop                                                  #
+    # ------------------------------------------------------------------ #
+    def _initialise(self) -> None:
+        self.population = [
+            self.problem.create_solution(self.rng)
+            for _ in range(self.population_size)
+        ]
+        self.evaluate_all(self.population)
+        self.archive = []
+        self._select_archive()
+
+    def _select_archive(self) -> None:
+        union = self.population + self.archive
+        fitness = self._assign_fitness(union)
+        self.archive = [s.copy() for s in self._environmental_selection(union, fitness)]
+
+    def _mating_tournament(self) -> FloatSolution:
+        pool = self.archive if self.archive else self.population
+        a = pool[int(self.rng.integers(len(pool)))]
+        b = pool[int(self.rng.integers(len(pool)))]
+        fa = a.attributes.get("spea2_fitness", np.inf)
+        fb = b.attributes.get("spea2_fitness", np.inf)
+        return a if fa <= fb else b
+
+    def _step(self) -> None:
+        offspring: list[FloatSolution] = []
+        n_children = min(self.population_size, self.budget_left)
+        while len(offspring) < n_children:
+            pa = self._mating_tournament()
+            pb = self._mating_tournament()
+            ca, cb = self.crossover.execute(pa, pb, self.problem, self.rng)
+            for child in (ca, cb):
+                if len(offspring) >= n_children:
+                    break
+                offspring.append(self.mutation.execute(child, self.problem, self.rng))
+        self.evaluate_all(offspring)
+        self.population = offspring
+        self._select_archive()
+        self.generations += 1
+
+    # ------------------------------------------------------------------ #
+    def _current_front(self) -> list[FloatSolution]:
+        return non_dominated(self.archive)
+
+    def _run_info(self) -> dict:
+        return {
+            "generations": self.generations,
+            "population_size": self.population_size,
+            "archive_size": len(self.archive),
+        }

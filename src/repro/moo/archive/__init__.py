@@ -1,0 +1,24 @@
+"""Non-dominated solution archives.
+
+* :class:`UnboundedArchive` — keeps every non-dominated solution seen;
+* :class:`CrowdingDistanceArchive` — bounded, evicts the most crowded
+  member (jMetal's ``CrowdingDistanceArchive``, used by CellDE);
+* :class:`AdaptiveGridArchive` — the AGA method from PAES (Knowles &
+  Corne 2000), the archiving strategy of AEDB-MLS (Sect. IV-A of the
+  paper);
+* :class:`EpsilonArchive` — epsilon-dominance boxes (Laumanns et al.
+  2002), the alternative elite-bounding strategy the archive ablation
+  compares AGA against (extension).
+"""
+
+from repro.moo.archive.adaptive_grid import AdaptiveGridArchive
+from repro.moo.archive.crowding import CrowdingDistanceArchive
+from repro.moo.archive.epsilon import EpsilonArchive
+from repro.moo.archive.nondominated import UnboundedArchive
+
+__all__ = [
+    "UnboundedArchive",
+    "CrowdingDistanceArchive",
+    "AdaptiveGridArchive",
+    "EpsilonArchive",
+]

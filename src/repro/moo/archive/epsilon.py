@@ -1,0 +1,159 @@
+"""Epsilon-dominance archive (Laumanns, Thiele, Deb, Zitzler 2002).
+
+An alternative to AGA for bounding the AEDB-MLS elite set (extension
+beyond the paper, exercised by the archive-strategy ablation bench).
+Objective space is tiled into boxes of side ``epsilon`` (additive
+scheme); the archive maintains
+
+* **box-level Pareto optimality** — a candidate whose box is dominated
+  by an occupied box is rejected; boxes dominated by the candidate's box
+  are evicted wholesale;
+* **one occupant per box** — within a box the occupant closer to the
+  box's lower corner wins (or the dominating one, if comparable).
+
+Unlike AGA the size bound is implicit — at most one member per
+non-dominated box, which for bounded objective ranges gives the classic
+``prod(range_i / epsilon_i) ** (m-1)/...`` style guarantee — and the
+archive provably never cycles (accepted boxes only ever improve).
+
+Constraint handling mirrors :class:`UnboundedArchive`: any feasible
+member rejects all infeasible candidates; while no feasible solution has
+been seen, the single least-violating solution is retained.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.moo.solution import FloatSolution
+
+__all__ = ["EpsilonArchive"]
+
+
+class EpsilonArchive:
+    """Bounded-by-construction archive under additive epsilon-dominance."""
+
+    def __init__(self, epsilon: float | Sequence[float], n_objectives: int):
+        if n_objectives <= 0:
+            raise ValueError(f"n_objectives must be positive, got {n_objectives}")
+        eps = np.asarray(
+            [epsilon] * n_objectives if np.isscalar(epsilon) else epsilon,
+            dtype=float,
+        )
+        if eps.size != n_objectives:
+            raise ValueError(
+                f"expected {n_objectives} epsilon values, got {eps.size}"
+            )
+        if np.any(eps <= 0):
+            raise ValueError("every epsilon must be positive")
+        self.epsilon = eps
+        self.n_objectives = int(n_objectives)
+        self._members: list[FloatSolution] = []
+        self._boxes: list[tuple[int, ...]] = []
+        #: Sole infeasible placeholder while nothing feasible was seen.
+        self._infeasible: FloatSolution | None = None
+
+    # ------------------------------------------------------------------ #
+    def box_of(self, objectives: np.ndarray) -> tuple[int, ...]:
+        """The epsilon-box index vector of an objective point."""
+        idx = np.floor(np.asarray(objectives, dtype=float) / self.epsilon)
+        return tuple(int(v) for v in idx)
+
+    @staticmethod
+    def _box_dominates(a: tuple[int, ...], b: tuple[int, ...]) -> bool:
+        """Pareto dominance on box indices (minimisation)."""
+        return all(x <= y for x, y in zip(a, b)) and any(
+            x < y for x, y in zip(a, b)
+        )
+
+    # ------------------------------------------------------------------ #
+    def add(self, candidate: FloatSolution) -> bool:
+        """Offer a solution; True when it was retained."""
+        if not candidate.is_evaluated:
+            raise ValueError("cannot archive an unevaluated solution")
+        if candidate.objectives.size != self.n_objectives:
+            raise ValueError(
+                f"expected {self.n_objectives} objectives, got "
+                f"{candidate.objectives.size}"
+            )
+
+        if candidate.constraint_violation > 0:
+            if self._members:
+                return False  # any feasible member rejects it
+            if (
+                self._infeasible is None
+                or candidate.constraint_violation
+                < self._infeasible.constraint_violation
+            ):
+                self._infeasible = candidate
+                return True
+            return False
+        # First feasible solution displaces the infeasible placeholder.
+        self._infeasible = None
+
+        box = self.box_of(candidate.objectives)
+        # Reject if epsilon-dominated at box level (equal box handled below).
+        for other in self._boxes:
+            if self._box_dominates(other, box):
+                return False
+
+        # Same box: the occupant closer to the box's lower corner stays.
+        if box in self._boxes:
+            i = self._boxes.index(box)
+            occupant = self._members[i]
+            if self._corner_distance(candidate) < self._corner_distance(occupant):
+                self._members[i] = candidate
+                return True
+            return False
+
+        # Evict boxes the candidate's box dominates, then insert.
+        keep = [
+            j
+            for j, other in enumerate(self._boxes)
+            if not self._box_dominates(box, other)
+        ]
+        if len(keep) != len(self._boxes):
+            self._members = [self._members[j] for j in keep]
+            self._boxes = [self._boxes[j] for j in keep]
+        self._members.append(candidate)
+        self._boxes.append(box)
+        return True
+
+    def _corner_distance(self, solution: FloatSolution) -> float:
+        """Distance from the solution to its box's lower corner."""
+        obj = solution.objectives
+        corner = np.floor(obj / self.epsilon) * self.epsilon
+        return float(np.linalg.norm((obj - corner) / self.epsilon))
+
+    def add_all(self, candidates: Sequence[FloatSolution]) -> int:
+        """Offer many; return how many were retained."""
+        return sum(1 for c in candidates if self.add(c))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def members(self) -> list[FloatSolution]:
+        """Current members (feasible boxes, or the sole infeasible)."""
+        if self._members:
+            return list(self._members)
+        return [self._infeasible] if self._infeasible is not None else []
+
+    def objectives_matrix(self) -> np.ndarray:
+        """``(n, m)`` matrix of member objectives (empty -> shape (0, 0))."""
+        mem = self.members
+        if not mem:
+            return np.empty((0, 0))
+        return np.vstack([m.objectives for m in mem])
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[FloatSolution]:
+        return iter(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EpsilonArchive(size={len(self)}, "
+            f"epsilon={self.epsilon.tolist()})"
+        )

@@ -1,0 +1,98 @@
+"""Unbounded non-dominated archive.
+
+The base class of all archives: maintains the invariant that members are
+mutually non-dominated (under constraint-domination) and deduplicates
+identical objective vectors.  ``add`` returns True when the candidate was
+accepted, which all callers use as their "found something new" signal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.moo.solution import FloatSolution
+
+__all__ = ["UnboundedArchive"]
+
+
+class UnboundedArchive:
+    """Archive without a size limit."""
+
+    def __init__(self) -> None:
+        self._members: list[FloatSolution] = []
+
+    # ------------------------------------------------------------------ #
+    def add(self, candidate: FloatSolution) -> bool:
+        """Insert ``candidate`` unless dominated or duplicated.
+
+        Members dominated by the candidate are evicted.  The candidate is
+        stored by reference; callers that keep mutating their solution must
+        pass a copy.  The dominance screen is one vectorised pass over the
+        member objective matrix.
+        """
+        if not candidate.is_evaluated:
+            raise ValueError("cannot archive an unevaluated solution")
+        if self._members:
+            obj_m = np.vstack([m.objectives for m in self._members])
+            vio_m = np.maximum(
+                np.array([m.constraint_violation for m in self._members]), 0.0
+            )
+            obj_c = candidate.objectives
+            vio_c = max(candidate.constraint_violation, 0.0)
+            feas_m = vio_m <= 0.0
+            feas_c = vio_c <= 0.0
+
+            pareto_mc = np.all(obj_m <= obj_c, axis=1) & np.any(
+                obj_m < obj_c, axis=1
+            )
+            pareto_cm = np.all(obj_c <= obj_m, axis=1) & np.any(
+                obj_c < obj_m, axis=1
+            )
+            if feas_c:
+                member_dominates = feas_m & pareto_mc
+                cand_dominates = np.where(feas_m, pareto_cm, True)
+            else:
+                member_dominates = feas_m | (vio_m < vio_c)
+                cand_dominates = ~feas_m & (vio_c < vio_m)
+            if bool(member_dominates.any()):
+                return False
+            duplicate = np.all(obj_m == obj_c, axis=1) & ~cand_dominates
+            if bool(duplicate.any()):
+                return False
+            if bool(cand_dominates.any()):
+                keep = np.flatnonzero(~cand_dominates)
+                self._members = [self._members[i] for i in keep]
+        self._members.append(candidate)
+        self._on_accept(candidate)
+        return True
+
+    def add_all(self, candidates: Sequence[FloatSolution]) -> int:
+        """Add many; return how many were accepted."""
+        return sum(1 for c in candidates if self.add(c))
+
+    # Hook for bounded subclasses (truncation happens here).
+    def _on_accept(self, candidate: FloatSolution) -> None:
+        return None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def members(self) -> list[FloatSolution]:
+        """Current members (list copy; solutions shared by reference)."""
+        return list(self._members)
+
+    def objectives_matrix(self) -> np.ndarray:
+        """``(n, m)`` matrix of member objectives (empty -> shape (0, 0))."""
+        if not self._members:
+            return np.empty((0, 0))
+        return np.vstack([m.objectives for m in self._members])
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[FloatSolution]:
+        return iter(list(self._members))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(size={len(self._members)})"

@@ -1,0 +1,71 @@
+"""Crowding-distance density estimator (Deb et al. 2002).
+
+Assigns each solution of a front the sum over objectives of the
+normalised gap between its neighbours; boundary solutions get infinity.
+Stored in ``attributes["crowding_distance"]`` and consumed by NSGA-II's
+truncation, the crowded tournament, and the crowding archive.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.moo.solution import FloatSolution
+
+__all__ = ["assign_crowding_distance", "crowding_distance_of", "crowded_compare"]
+
+_KEY = "crowding_distance"
+
+
+def assign_crowding_distance(front: Sequence[FloatSolution]) -> None:
+    """Annotate every member of ``front`` with its crowding distance."""
+    n = len(front)
+    if n == 0:
+        return
+    if n <= 2:
+        for sol in front:
+            sol.attributes[_KEY] = np.inf
+        return
+
+    objectives = np.vstack([s.objectives for s in front])
+    distance = np.zeros(n)
+    for m in range(objectives.shape[1]):
+        order = np.argsort(objectives[:, m], kind="stable")
+        col = objectives[order, m]
+        span = col[-1] - col[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span <= 0:
+            continue  # degenerate objective: interior gaps contribute 0
+        gaps = (col[2:] - col[:-2]) / span
+        interior = order[1:-1]
+        finite = ~np.isinf(distance[interior])
+        distance[interior[finite]] += gaps[finite]
+
+    for sol, d in zip(front, distance):
+        sol.attributes[_KEY] = float(d)
+
+
+def crowding_distance_of(solution: FloatSolution) -> float:
+    """Crowding distance from the last assignment (-inf if never set)."""
+    return float(solution.attributes.get(_KEY, -np.inf))
+
+
+def crowded_compare(a: FloatSolution, b: FloatSolution) -> int:
+    """NSGA-II's crowded-comparison operator on (rank, crowding).
+
+    Returns -1 if ``a`` is preferred, 1 if ``b``, 0 on a tie.  Both
+    solutions must have been ranked (see :mod:`repro.moo.ranking`).
+    """
+    ra = a.attributes.get("rank", 2**31)
+    rb = b.attributes.get("rank", 2**31)
+    if ra != rb:
+        return -1 if ra < rb else 1
+    da, db = crowding_distance_of(a), crowding_distance_of(b)
+    if da > db:
+        return -1
+    if db > da:
+        return 1
+    return 0

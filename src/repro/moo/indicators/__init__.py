@@ -1,0 +1,37 @@
+"""Pareto-front quality indicators used in the paper's Sect. VI.
+
+* :func:`hypervolume` — exact for 2 and 3 objectives (staircase sweep),
+  Monte-Carlo estimate beyond;
+* :func:`inverted_generational_distance` — Eq. 3 of the paper
+  (Van Veldhuizen's form: ``sqrt(sum d_i^2) / n``);
+* :func:`spread` / :func:`generalized_spread` — Eq. 4 (Deb's Δ for two
+  objectives; the Zhou et al. generalisation for three or more);
+* :func:`additive_epsilon` — extra indicator for cross-checks;
+* :class:`NormalizationBounds` — min/max normalisation against a reference
+  front, applied before every indicator as the paper does.
+"""
+
+from repro.moo.indicators.epsilon import additive_epsilon
+from repro.moo.indicators.hypervolume import (
+    hypervolume,
+    hypervolume_2d,
+    hypervolume_3d,
+)
+from repro.moo.indicators.igd import (
+    generational_distance,
+    inverted_generational_distance,
+)
+from repro.moo.indicators.normalize import NormalizationBounds
+from repro.moo.indicators.spread import generalized_spread, spread
+
+__all__ = [
+    "hypervolume",
+    "hypervolume_2d",
+    "hypervolume_3d",
+    "inverted_generational_distance",
+    "generational_distance",
+    "spread",
+    "generalized_spread",
+    "additive_epsilon",
+    "NormalizationBounds",
+]

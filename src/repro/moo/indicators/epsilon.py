@@ -1,0 +1,32 @@
+"""Additive epsilon indicator (Zitzler et al. 2003).
+
+The smallest amount by which the approximation front must be translated
+(subtracted, for minimisation) so that every reference point is weakly
+dominated.  Not reported in the paper; used here as an extra cross-check
+between algorithms in the extended analyses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["additive_epsilon"]
+
+
+def additive_epsilon(front: np.ndarray, reference_front: np.ndarray) -> float:
+    """I_eps+(front, reference): lower is better, >= 0 when reference is
+    the non-dominated union."""
+    pts = np.atleast_2d(np.asarray(front, dtype=float))
+    ref = np.atleast_2d(np.asarray(reference_front, dtype=float))
+    if pts.shape[0] == 0 or ref.shape[0] == 0:
+        raise ValueError("fronts must be non-empty")
+    if pts.shape[1] != ref.shape[1]:
+        raise ValueError(
+            f"objective mismatch: {pts.shape[1]} vs {ref.shape[1]}"
+        )
+    # eps(r) = min over front points of max over objectives (p - r);
+    # indicator = max over reference points.
+    diffs = pts[:, None, :] - ref[None, :, :]  # (n_front, n_ref, m)
+    worst_per_pair = diffs.max(axis=2)
+    best_per_ref = worst_per_pair.min(axis=0)
+    return float(best_per_ref.max())

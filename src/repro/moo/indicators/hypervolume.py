@@ -1,0 +1,188 @@
+"""Hypervolume indicator (Zitzler & Thiele 1999).
+
+The volume of objective space dominated by a front and bounded by a
+reference point (all objectives minimised; the reference point must be
+weakly dominated by every front member that is to contribute).
+
+Implementations:
+
+* 2-D: sort + staircase sum, O(n log n), exact;
+* 3-D: dimension-sweep over z with an explicit 2-D staircase, O(n² )
+  worst case, exact — the fronts here hold at most a few hundred points;
+* ≥4-D: Monte-Carlo estimation with a fixed sample budget (documented
+  estimator, deterministic given a seed);
+* :func:`hypervolume_inclusion_exclusion` — exponential-cost exact
+  reference used by the property tests to validate the fast paths.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "hypervolume",
+    "hypervolume_2d",
+    "hypervolume_3d",
+    "hypervolume_monte_carlo",
+    "hypervolume_inclusion_exclusion",
+]
+
+
+def _prepare(front: np.ndarray, reference: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pts = np.asarray(front, dtype=float)
+    ref = np.asarray(reference, dtype=float).ravel()
+    if pts.ndim != 2:
+        pts = np.atleast_2d(pts)
+    if pts.shape[0] == 0:
+        return pts.reshape(0, ref.size), ref
+    if pts.shape[1] != ref.size:
+        raise ValueError(
+            f"front has {pts.shape[1]} objectives, reference {ref.size}"
+        )
+    # Only points that strictly dominate the reference contribute.
+    keep = np.all(pts < ref, axis=1)
+    return pts[keep], ref
+
+
+def hypervolume_2d(front: np.ndarray, reference: np.ndarray) -> float:
+    """Exact 2-objective hypervolume."""
+    pts, ref = _prepare(front, reference)
+    if pts.shape[0] == 0:
+        return 0.0
+    # Sort by f1 ascending; sweep keeping the best (lowest) f2 so far.
+    order = np.argsort(pts[:, 0], kind="stable")
+    pts = pts[order]
+    volume = 0.0
+    best_f2 = ref[1]
+    for x, y in pts:
+        if y < best_f2:
+            volume += (ref[0] - x) * (best_f2 - y)
+            best_f2 = y
+    return float(volume)
+
+
+def _staircase_area(stairs: list[tuple[float, float]], ref: np.ndarray) -> float:
+    """Area dominated by a 2-D staircase of mutually non-dominated points.
+
+    ``stairs`` is sorted by x ascending (hence y descending).
+    """
+    area = 0.0
+    prev_y = ref[1]
+    for x, y in stairs:
+        area += (ref[0] - x) * (prev_y - y)
+        prev_y = y
+    return area
+
+
+def _staircase_insert(
+    stairs: list[tuple[float, float]], point: tuple[float, float]
+) -> list[tuple[float, float]]:
+    """Insert a point into a 2-D staircase, dropping dominated entries."""
+    x, y = point
+    out: list[tuple[float, float]] = []
+    inserted = False
+    for sx, sy in stairs:
+        if sx <= x and sy <= y:
+            return stairs  # point is dominated: staircase unchanged
+        if x <= sx and y <= sy:
+            continue  # existing stair dominated by the new point
+        if not inserted and sx > x:
+            out.append((x, y))
+            inserted = True
+        out.append((sx, sy))
+    if not inserted:
+        out.append((x, y))
+    return out
+
+
+def hypervolume_3d(front: np.ndarray, reference: np.ndarray) -> float:
+    """Exact 3-objective hypervolume via a z-sweep of 2-D staircases."""
+    pts, ref = _prepare(front, reference)
+    if pts.shape[0] == 0:
+        return 0.0
+    order = np.argsort(pts[:, 2], kind="stable")
+    pts = pts[order]
+    stairs: list[tuple[float, float]] = []
+    volume = 0.0
+    prev_z = None
+    for x, y, z in pts:
+        if prev_z is not None and z > prev_z:
+            volume += _staircase_area(stairs, ref) * (z - prev_z)
+        if prev_z is None:
+            prev_z = z
+        elif z > prev_z:
+            prev_z = z
+        stairs = _staircase_insert(stairs, (x, y))
+    volume += _staircase_area(stairs, ref) * (ref[2] - prev_z)
+    return float(volume)
+
+
+def hypervolume_monte_carlo(
+    front: np.ndarray,
+    reference: np.ndarray,
+    n_samples: int = 100_000,
+    rng: np.random.Generator | int | None = 0,
+) -> float:
+    """Monte-Carlo hypervolume estimate for any dimensionality.
+
+    Samples uniformly in the box ``[ideal, reference]`` where ``ideal`` is
+    the per-objective minimum of the front; the dominated fraction scales
+    the box volume.
+    """
+    pts, ref = _prepare(front, reference)
+    if pts.shape[0] == 0:
+        return 0.0
+    gen = as_generator(rng)
+    lo = pts.min(axis=0)
+    box = np.prod(ref - lo)
+    if box <= 0:
+        return 0.0
+    samples = gen.uniform(lo, ref, size=(int(n_samples), ref.size))
+    # A sample is dominated if some front point is <= it in every objective.
+    dominated = np.zeros(samples.shape[0], dtype=bool)
+    for p in pts:
+        dominated |= np.all(p[None, :] <= samples, axis=1)
+        if dominated.all():
+            break
+    return float(box * dominated.mean())
+
+
+def hypervolume_inclusion_exclusion(
+    front: np.ndarray, reference: np.ndarray
+) -> float:
+    """Exact hypervolume by inclusion–exclusion (exponential; tests only)."""
+    pts, ref = _prepare(front, reference)
+    n = pts.shape[0]
+    if n == 0:
+        return 0.0
+    if n > 16:
+        raise ValueError("inclusion-exclusion limited to 16 points")
+    total = 0.0
+    for k in range(1, n + 1):
+        for subset in combinations(range(n), k):
+            corner = np.max(pts[list(subset)], axis=0)
+            vol = float(np.prod(np.maximum(ref - corner, 0.0)))
+            total += vol if k % 2 == 1 else -vol
+    return total
+
+
+def hypervolume(
+    front: np.ndarray,
+    reference: np.ndarray,
+    n_samples: int = 100_000,
+    rng: np.random.Generator | int | None = 0,
+) -> float:
+    """Dispatch on dimensionality: exact for m <= 3, Monte-Carlo beyond."""
+    ref = np.asarray(reference, dtype=float).ravel()
+    if ref.size == 1:
+        pts, _ = _prepare(front, ref)
+        return float(ref[0] - pts.min()) if pts.size else 0.0
+    if ref.size == 2:
+        return hypervolume_2d(front, ref)
+    if ref.size == 3:
+        return hypervolume_3d(front, ref)
+    return hypervolume_monte_carlo(front, ref, n_samples=n_samples, rng=rng)

@@ -1,0 +1,57 @@
+"""Objective normalisation for indicator computation.
+
+"Before applying these metrics, all fronts were normalised because these
+indicators are not free from arbitrary scaling of the objectives"
+(paper, Sect. VI).  The bounds come from a reference front — in the paper,
+the non-dominated union of all solutions from all compared algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NormalizationBounds"]
+
+
+@dataclass(frozen=True)
+class NormalizationBounds:
+    """Per-objective [min, max] bounds, applied as (x - min) / (max - min)."""
+
+    minimum: np.ndarray
+    maximum: np.ndarray
+
+    @classmethod
+    def from_front(cls, front: np.ndarray) -> "NormalizationBounds":
+        """Fit bounds to an ``(n, m)`` objective matrix."""
+        pts = np.atleast_2d(np.asarray(front, dtype=float))
+        if pts.shape[0] == 0:
+            raise ValueError("cannot fit bounds to an empty front")
+        return cls(minimum=pts.min(axis=0), maximum=pts.max(axis=0))
+
+    @property
+    def span(self) -> np.ndarray:
+        """max - min, degenerate axes mapped to 1 (so they normalise to 0)."""
+        diff = self.maximum - self.minimum
+        return np.where(diff > 0, diff, 1.0)
+
+    def apply(self, front: np.ndarray) -> np.ndarray:
+        """Normalise a front; values may fall outside [0, 1] if the front
+        exceeds the reference bounds (that is informative, not an error)."""
+        pts = np.atleast_2d(np.asarray(front, dtype=float))
+        if pts.shape[1] != self.minimum.size:
+            raise ValueError(
+                f"front has {pts.shape[1]} objectives, bounds "
+                f"{self.minimum.size}"
+            )
+        return (pts - self.minimum[None, :]) / self.span[None, :]
+
+    def reference_point(self, offset: float = 0.1) -> np.ndarray:
+        """Hypervolume reference point in normalised space: (1+offset, ...).
+
+        The paper builds the reference as the vector of worst objective
+        values; after normalisation that is the all-ones corner, and the
+        conventional safety offset keeps boundary solutions contributing.
+        """
+        return np.full(self.minimum.size, 1.0 + float(offset))

@@ -1,0 +1,38 @@
+"""Benchmark problems with known Pareto fronts.
+
+Used to *validate* the optimisation framework (NSGA-II, CellDE, archives,
+indicators) independently of the AEDB simulator, exactly as one would
+validate a jMetal build.  Each problem exposes ``pareto_front(n)`` where
+the true front is known analytically.
+"""
+
+from repro.moo.problems.dtlz import DTLZ1, DTLZ2
+from repro.moo.problems.misc import (
+    BinhKorn,
+    ConstrEx,
+    Fonseca,
+    Kursawe,
+    Schaffer,
+    Srinivas,
+    Tanaka,
+    Viennet2,
+)
+from repro.moo.problems.zdt import ZDT1, ZDT2, ZDT3, ZDT4, ZDT6
+
+__all__ = [
+    "ZDT1",
+    "ZDT2",
+    "ZDT3",
+    "ZDT4",
+    "ZDT6",
+    "DTLZ1",
+    "DTLZ2",
+    "Schaffer",
+    "Fonseca",
+    "Kursawe",
+    "Srinivas",
+    "Tanaka",
+    "ConstrEx",
+    "BinhKorn",
+    "Viennet2",
+]

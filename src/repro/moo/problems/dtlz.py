@@ -1,0 +1,102 @@
+"""DTLZ1/DTLZ2 (Deb, Thiele, Laumanns, Zitzler 2002), 3-objective.
+
+The AEDB tuning problem is 3-objective; these two scalable problems give
+the framework a 3-objective validation target with analytic fronts
+(DTLZ1: the simplex sum f_i = 0.5; DTLZ2: the unit sphere octant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.moo.problem import Problem
+from repro.moo.solution import FloatSolution
+
+__all__ = ["DTLZ1", "DTLZ2"]
+
+
+class _DTLZ(Problem):
+    def __init__(self, n_variables: int, n_objectives: int, name: str):
+        super().__init__(
+            np.zeros(n_variables),
+            np.ones(n_variables),
+            n_objectives=n_objectives,
+            name=name,
+        )
+
+    @property
+    def k(self) -> int:
+        """Distance-variable count."""
+        return self.n_variables - self.n_objectives + 1
+
+
+class DTLZ1(_DTLZ):
+    """Linear front: sum(f) = 0.5 on the simplex."""
+
+    def __init__(self, n_variables: int = 7, n_objectives: int = 3):
+        super().__init__(n_variables, n_objectives, name="DTLZ1")
+
+    def _evaluate(self, solution: FloatSolution) -> None:
+        x = solution.variables
+        m = self.n_objectives
+        xm = x[m - 1 :]
+        g = 100.0 * (
+            xm.size
+            + np.sum((xm - 0.5) ** 2 - np.cos(20.0 * np.pi * (xm - 0.5)))
+        )
+        for i in range(m):
+            f = 0.5 * (1.0 + g)
+            f *= np.prod(x[: m - 1 - i])
+            if i > 0:
+                f *= 1.0 - x[m - 1 - i]
+            solution.objectives[i] = f
+        solution.constraint_violation = 0.0
+
+    def pareto_front(self, n: int = 200) -> np.ndarray:
+        """Uniform-ish sample of the simplex sum(f)=0.5 (m = 3 only)."""
+        if self.n_objectives != 3:
+            raise NotImplementedError("front sampling implemented for m=3")
+        pts = []
+        steps = int(np.sqrt(n)) + 1
+        for a in np.linspace(0, 1, steps):
+            for b in np.linspace(0, 1 - a, max(int((1 - a) * steps), 1)):
+                c = 1.0 - a - b
+                pts.append((0.5 * a, 0.5 * b, 0.5 * c))
+        return np.array(pts)
+
+
+class DTLZ2(_DTLZ):
+    """Spherical front: ||f||_2 = 1 on the positive octant."""
+
+    def __init__(self, n_variables: int = 12, n_objectives: int = 3):
+        super().__init__(n_variables, n_objectives, name="DTLZ2")
+
+    def _evaluate(self, solution: FloatSolution) -> None:
+        x = solution.variables
+        m = self.n_objectives
+        xm = x[m - 1 :]
+        g = float(np.sum((xm - 0.5) ** 2))
+        for i in range(m):
+            f = 1.0 + g
+            f *= np.prod(np.cos(x[: m - 1 - i] * np.pi / 2.0))
+            if i > 0:
+                f *= np.sin(x[m - 1 - i] * np.pi / 2.0)
+            solution.objectives[i] = f
+        solution.constraint_violation = 0.0
+
+    def pareto_front(self, n: int = 200) -> np.ndarray:
+        """Spherical-coordinate grid on the unit octant (m = 3 only)."""
+        if self.n_objectives != 3:
+            raise NotImplementedError("front sampling implemented for m=3")
+        steps = int(np.sqrt(n)) + 1
+        theta = np.linspace(0, np.pi / 2, steps)
+        phi = np.linspace(0, np.pi / 2, steps)
+        tt, pp = np.meshgrid(theta, phi)
+        pts = np.column_stack(
+            [
+                (np.cos(tt) * np.cos(pp)).ravel(),
+                (np.cos(tt) * np.sin(pp)).ravel(),
+                np.sin(tt).ravel(),
+            ]
+        )
+        return pts

@@ -1,0 +1,191 @@
+"""Classic small multi-objective problems, including constrained ones.
+
+The constrained problems (Srinivas, Tanaka, ConstrEx, BinhKorn) exercise
+the framework's constraint-domination path — the same machinery the AEDB
+broadcast-time constraint flows through — against known solutions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.moo.problem import Problem
+from repro.moo.solution import FloatSolution
+
+__all__ = [
+    "Schaffer",
+    "Fonseca",
+    "Kursawe",
+    "Srinivas",
+    "Tanaka",
+    "ConstrEx",
+    "BinhKorn",
+    "Viennet2",
+]
+
+
+def _violation(*gs: float) -> float:
+    """Aggregate constraint violation: sum of positive parts of g_i <= 0."""
+    return float(sum(max(g, 0.0) for g in gs))
+
+
+class Schaffer(Problem):
+    """Schaffer's single-variable problem: front f2 = (sqrt(f1) - 2)^2."""
+
+    def __init__(self):
+        super().__init__([-1000.0], [1000.0], n_objectives=2, name="Schaffer")
+
+    def _evaluate(self, solution: FloatSolution) -> None:
+        x = float(solution.variables[0])
+        solution.objectives[0] = x**2
+        solution.objectives[1] = (x - 2.0) ** 2
+        solution.constraint_violation = 0.0
+
+    def pareto_front(self, n: int = 100) -> np.ndarray:
+        x = np.linspace(0.0, 2.0, n)
+        return np.column_stack([x**2, (x - 2.0) ** 2])
+
+
+class Fonseca(Problem):
+    """Fonseca–Fleming, concave front, n variables."""
+
+    def __init__(self, n_variables: int = 3):
+        super().__init__(
+            -4.0 * np.ones(n_variables),
+            4.0 * np.ones(n_variables),
+            n_objectives=2,
+            name="Fonseca",
+        )
+
+    def _evaluate(self, solution: FloatSolution) -> None:
+        x = solution.variables
+        n = x.size
+        shift = 1.0 / np.sqrt(n)
+        solution.objectives[0] = 1.0 - np.exp(-np.sum((x - shift) ** 2))
+        solution.objectives[1] = 1.0 - np.exp(-np.sum((x + shift) ** 2))
+        solution.constraint_violation = 0.0
+
+    def pareto_front(self, n: int = 100) -> np.ndarray:
+        # Front parametrised by x1=...=xn=t, t in [-1/sqrt(n), 1/sqrt(n)].
+        nv = self.n_variables
+        t = np.linspace(-1.0 / np.sqrt(nv), 1.0 / np.sqrt(nv), n)
+        f1 = 1.0 - np.exp(-nv * (t - 1.0 / np.sqrt(nv)) ** 2)
+        f2 = 1.0 - np.exp(-nv * (t + 1.0 / np.sqrt(nv)) ** 2)
+        return np.column_stack([f1, f2])
+
+
+class Kursawe(Problem):
+    """Kursawe's disconnected, non-convex problem."""
+
+    def __init__(self, n_variables: int = 3):
+        super().__init__(
+            -5.0 * np.ones(n_variables),
+            5.0 * np.ones(n_variables),
+            n_objectives=2,
+            name="Kursawe",
+        )
+
+    def _evaluate(self, solution: FloatSolution) -> None:
+        x = solution.variables
+        solution.objectives[0] = float(
+            np.sum(-10.0 * np.exp(-0.2 * np.sqrt(x[:-1] ** 2 + x[1:] ** 2)))
+        )
+        solution.objectives[1] = float(
+            np.sum(np.abs(x) ** 0.8 + 5.0 * np.sin(x**3))
+        )
+        solution.constraint_violation = 0.0
+
+
+class Srinivas(Problem):
+    """Srinivas & Deb's constrained bi-objective problem."""
+
+    def __init__(self):
+        super().__init__(
+            [-20.0, -20.0], [20.0, 20.0], n_objectives=2, n_constraints=2,
+            name="Srinivas",
+        )
+
+    def _evaluate(self, solution: FloatSolution) -> None:
+        x, y = solution.variables
+        solution.objectives[0] = (x - 2.0) ** 2 + (y - 1.0) ** 2 + 2.0
+        solution.objectives[1] = 9.0 * x - (y - 1.0) ** 2
+        g1 = x**2 + y**2 - 225.0
+        g2 = x - 3.0 * y + 10.0
+        solution.constraint_violation = _violation(g1 / 225.0, g2 / 10.0)
+
+
+class Tanaka(Problem):
+    """Tanaka's problem: the constraint carves the front itself."""
+
+    def __init__(self):
+        eps = 1e-12
+        super().__init__(
+            [eps, eps], [np.pi, np.pi], n_objectives=2, n_constraints=2,
+            name="Tanaka",
+        )
+
+    def _evaluate(self, solution: FloatSolution) -> None:
+        x, y = solution.variables
+        solution.objectives[0] = x
+        solution.objectives[1] = y
+        g1 = -(x**2 + y**2 - 1.0 - 0.1 * np.cos(16.0 * np.arctan2(x, y)))
+        g2 = (x - 0.5) ** 2 + (y - 0.5) ** 2 - 0.5
+        solution.constraint_violation = _violation(g1, g2)
+
+
+class ConstrEx(Problem):
+    """Deb's CONSTR example (two linear constraints)."""
+
+    def __init__(self):
+        super().__init__(
+            [0.1, 0.0], [1.0, 5.0], n_objectives=2, n_constraints=2,
+            name="ConstrEx",
+        )
+
+    def _evaluate(self, solution: FloatSolution) -> None:
+        x, y = solution.variables
+        solution.objectives[0] = x
+        solution.objectives[1] = (1.0 + y) / x
+        g1 = 6.0 - (y + 9.0 * x)
+        g2 = 1.0 + y - 9.0 * x
+        solution.constraint_violation = _violation(g1, g2)
+
+
+class BinhKorn(Problem):
+    """Binh & Korn's constrained problem with a known convex front."""
+
+    def __init__(self):
+        super().__init__(
+            [0.0, 0.0], [5.0, 3.0], n_objectives=2, n_constraints=2,
+            name="BinhKorn",
+        )
+
+    def _evaluate(self, solution: FloatSolution) -> None:
+        x, y = solution.variables
+        solution.objectives[0] = 4.0 * x**2 + 4.0 * y**2
+        solution.objectives[1] = (x - 5.0) ** 2 + (y - 5.0) ** 2
+        g1 = (x - 5.0) ** 2 + y**2 - 25.0
+        g2 = 7.7 - ((x - 8.0) ** 2 + (y + 3.0) ** 2)
+        solution.constraint_violation = _violation(g1 / 25.0, g2 / 7.7)
+
+
+class Viennet2(Problem):
+    """Viennet's second problem — a cheap 3-objective analytic target."""
+
+    def __init__(self):
+        super().__init__(
+            [-4.0, -4.0], [4.0, 4.0], n_objectives=3, name="Viennet2"
+        )
+
+    def _evaluate(self, solution: FloatSolution) -> None:
+        x, y = solution.variables
+        solution.objectives[0] = (
+            (x - 2.0) ** 2 / 2.0 + (y + 1.0) ** 2 / 13.0 + 3.0
+        )
+        solution.objectives[1] = (
+            (x + y - 3.0) ** 2 / 36.0 + (-x + y + 2.0) ** 2 / 8.0 - 17.0
+        )
+        solution.objectives[2] = (
+            (x + 2.0 * y - 1.0) ** 2 / 175.0 + (2.0 * y - x) ** 2 / 17.0 - 13.0
+        )
+        solution.constraint_violation = 0.0

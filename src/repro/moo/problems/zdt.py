@@ -1,0 +1,167 @@
+"""The ZDT bi-objective test suite (Zitzler, Deb, Thiele 2000).
+
+Standard scalable 2-objective problems with analytically known Pareto
+fronts; the framework's convergence tests use ZDT1/2/3 (convex, concave,
+disconnected) and the multimodal/biased ZDT4/6 for stress runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.moo.problem import Problem
+from repro.moo.solution import FloatSolution
+
+__all__ = ["ZDT1", "ZDT2", "ZDT3", "ZDT4", "ZDT6"]
+
+
+class _ZDT(Problem):
+    """Shared scaffolding: f1 from x0, f2 = g * h(f1, g)."""
+
+    def __init__(self, n_variables: int, lower=None, upper=None, name=None):
+        lower = np.zeros(n_variables) if lower is None else lower
+        upper = np.ones(n_variables) if upper is None else upper
+        super().__init__(lower, upper, n_objectives=2, name=name)
+
+    def _evaluate(self, solution: FloatSolution) -> None:
+        x = solution.variables
+        f1 = self._f1(x)
+        g = self._g(x)
+        f2 = g * self._h(f1, g)
+        solution.objectives[0] = f1
+        solution.objectives[1] = f2
+        solution.constraint_violation = 0.0
+
+    def _f1(self, x: np.ndarray) -> float:
+        return float(x[0])
+
+    def _g(self, x: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _h(self, f1: float, g: float) -> float:
+        raise NotImplementedError
+
+    def pareto_front(self, n: int = 100) -> np.ndarray:
+        """``(n, 2)`` points sampled from the analytic Pareto front."""
+        f1 = np.linspace(0.0, 1.0, n)
+        return np.column_stack([f1, self._front_f2(f1)])
+
+    def _front_f2(self, f1: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ZDT1(_ZDT):
+    """Convex front: f2 = 1 - sqrt(f1)."""
+
+    def __init__(self, n_variables: int = 30):
+        super().__init__(n_variables, name="ZDT1")
+
+    def _g(self, x: np.ndarray) -> float:
+        return 1.0 + 9.0 * float(np.mean(x[1:]))
+
+    def _h(self, f1: float, g: float) -> float:
+        return 1.0 - np.sqrt(f1 / g)
+
+    def _front_f2(self, f1: np.ndarray) -> np.ndarray:
+        return 1.0 - np.sqrt(f1)
+
+
+class ZDT2(_ZDT):
+    """Concave front: f2 = 1 - f1^2."""
+
+    def __init__(self, n_variables: int = 30):
+        super().__init__(n_variables, name="ZDT2")
+
+    def _g(self, x: np.ndarray) -> float:
+        return 1.0 + 9.0 * float(np.mean(x[1:]))
+
+    def _h(self, f1: float, g: float) -> float:
+        return 1.0 - (f1 / g) ** 2
+
+    def _front_f2(self, f1: np.ndarray) -> np.ndarray:
+        return 1.0 - f1**2
+
+
+class ZDT3(_ZDT):
+    """Disconnected front (five convex pieces)."""
+
+    def __init__(self, n_variables: int = 30):
+        super().__init__(n_variables, name="ZDT3")
+
+    def _g(self, x: np.ndarray) -> float:
+        return 1.0 + 9.0 * float(np.mean(x[1:]))
+
+    def _h(self, f1: float, g: float) -> float:
+        r = f1 / g
+        return 1.0 - np.sqrt(r) - r * np.sin(10.0 * np.pi * f1)
+
+    def pareto_front(self, n: int = 100) -> np.ndarray:
+        # The front lives on disconnected f1 intervals (Zitzler et al.);
+        # each interval is open on the left except the first (the left
+        # endpoint is weakly dominated by the previous segment's end).
+        segments = [
+            (0.0, 0.0830015349, False),
+            (0.1822287280, 0.2577623634, True),
+            (0.4093136748, 0.4538821041, True),
+            (0.6183967944, 0.6525117038, True),
+            (0.8233317983, 0.8518328654, True),
+        ]
+        per_seg = max(n // len(segments), 2)
+        pieces = []
+        for a, b, left_open in segments:
+            seg = np.linspace(a, b, per_seg + (1 if left_open else 0))
+            pieces.append(seg[1:] if left_open else seg)
+        f1 = np.concatenate(pieces)
+        f2 = 1.0 - np.sqrt(f1) - f1 * np.sin(10.0 * np.pi * f1)
+        return np.column_stack([f1, f2])
+
+    def _front_f2(self, f1: np.ndarray) -> np.ndarray:  # pragma: no cover
+        return 1.0 - np.sqrt(f1) - f1 * np.sin(10.0 * np.pi * f1)
+
+
+class ZDT4(_ZDT):
+    """Multimodal: 21^9 local fronts; global front as ZDT1."""
+
+    def __init__(self, n_variables: int = 10):
+        lower = np.concatenate([[0.0], -5.0 * np.ones(n_variables - 1)])
+        upper = np.concatenate([[1.0], 5.0 * np.ones(n_variables - 1)])
+        super().__init__(n_variables, lower, upper, name="ZDT4")
+
+    def _g(self, x: np.ndarray) -> float:
+        tail = x[1:]
+        return float(
+            1.0
+            + 10.0 * tail.size
+            + np.sum(tail**2 - 10.0 * np.cos(4.0 * np.pi * tail))
+        )
+
+    def _h(self, f1: float, g: float) -> float:
+        return 1.0 - np.sqrt(f1 / g)
+
+    def _front_f2(self, f1: np.ndarray) -> np.ndarray:
+        return 1.0 - np.sqrt(f1)
+
+
+class ZDT6(_ZDT):
+    """Non-uniformly distributed, concave front."""
+
+    def __init__(self, n_variables: int = 10):
+        super().__init__(n_variables, name="ZDT6")
+
+    def _f1(self, x: np.ndarray) -> float:
+        return float(
+            1.0 - np.exp(-4.0 * x[0]) * np.sin(6.0 * np.pi * x[0]) ** 6
+        )
+
+    def _g(self, x: np.ndarray) -> float:
+        return float(1.0 + 9.0 * (np.sum(x[1:]) / (x.size - 1)) ** 0.25)
+
+    def _h(self, f1: float, g: float) -> float:
+        return 1.0 - (f1 / g) ** 2
+
+    def pareto_front(self, n: int = 100) -> np.ndarray:
+        f1 = np.linspace(0.2807753191, 1.0, n)
+        return np.column_stack([f1, 1.0 - f1**2])
+
+    def _front_f2(self, f1: np.ndarray) -> np.ndarray:  # pragma: no cover
+        return 1.0 - f1**2

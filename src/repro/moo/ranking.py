@@ -1,0 +1,90 @@
+"""Fast non-dominated sorting (Deb et al. 2002, NSGA-II).
+
+Partitions a population into fronts F1, F2, ... such that F1 is the
+non-dominated set, F2 is non-dominated once F1 is removed, and so on.
+Each solution receives its front index in ``attributes["rank"]`` (0-based).
+Constraint-domination is used throughout, so infeasible solutions sort
+behind feasible ones automatically.
+
+The pairwise domination relation is computed as one broadcasted NumPy
+matrix rather than O(n²) Python-level comparisons — the difference is an
+order of magnitude of wall-clock for the population sizes used here (the
+HPC guide's "vectorise the hot loop").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.moo.solution import FloatSolution
+
+__all__ = ["fast_non_dominated_sort", "domination_matrix", "rank_of"]
+
+
+def domination_matrix(
+    objectives: np.ndarray, violations: np.ndarray
+) -> np.ndarray:
+    """Boolean ``(n, n)`` matrix: ``D[i, j]`` iff ``i`` constraint-dominates
+    ``j`` (Deb's rules; minimisation)."""
+    obj = np.asarray(objectives, dtype=float)
+    vio = np.maximum(np.asarray(violations, dtype=float), 0.0)
+    if obj.ndim != 2:
+        raise ValueError(f"objectives must be (n, m), got {obj.shape}")
+    if vio.shape != (obj.shape[0],):
+        raise ValueError("violations must be (n,) matching objectives")
+
+    le = np.all(obj[:, None, :] <= obj[None, :, :], axis=2)
+    lt = np.any(obj[:, None, :] < obj[None, :, :], axis=2)
+    pareto = le & lt
+
+    feas_i = (vio <= 0.0)[:, None]
+    feas_j = (vio <= 0.0)[None, :]
+    both_feasible = feas_i & feas_j
+    both_infeasible = ~feas_i & ~feas_j
+    less_violating = vio[:, None] < vio[None, :]
+
+    return np.where(
+        both_feasible,
+        pareto,
+        np.where(both_infeasible, less_violating, feas_i & ~feas_j),
+    )
+
+
+def fast_non_dominated_sort(
+    solutions: Sequence[FloatSolution],
+) -> list[list[FloatSolution]]:
+    """Return the list of fronts; annotate each solution with its rank."""
+    n = len(solutions)
+    if n == 0:
+        return []
+
+    objectives = np.vstack([s.objectives for s in solutions])
+    violations = np.array([s.constraint_violation for s in solutions])
+    dom = domination_matrix(objectives, violations)
+
+    domination_count = dom.sum(axis=0).astype(int)  # how many dominate j
+    result: list[list[FloatSolution]] = []
+    assigned = np.zeros(n, dtype=bool)
+    rank = 0
+    while not assigned.all():
+        front_mask = (domination_count == 0) & ~assigned
+        if not front_mask.any():  # pragma: no cover - defensive
+            raise RuntimeError("cyclic domination relation (bug)")
+        front_idx = np.flatnonzero(front_mask)
+        members = []
+        for i in front_idx:
+            solutions[i].attributes["rank"] = rank
+            members.append(solutions[i])
+        result.append(members)
+        assigned[front_idx] = True
+        # Remove this front's domination edges.
+        domination_count -= dom[front_idx].sum(axis=0).astype(int)
+        rank += 1
+    return result
+
+
+def rank_of(solution: FloatSolution) -> int:
+    """Front index assigned by the last sort (infinity if never ranked)."""
+    return int(solution.attributes.get("rank", 2**31))

@@ -1,0 +1,47 @@
+"""Global sensitivity analysis (paper Sect. III-B, Fig. 2, Table I).
+
+* :mod:`repro.sensitivity.fast` — the Extended Fourier Amplitude
+  Sensitivity Test (FAST99; Saltelli, Tarantola & Chan 1999): first-order
+  and total-order indices, with interactions = total − first;
+* :mod:`repro.sensitivity.morris` — Morris elementary-effects screening,
+  an independent cross-check (extension beyond the paper);
+* :mod:`repro.sensitivity.sobol` — Sobol' indices on the Saltelli design
+  (quasi-Monte Carlo), a second independent estimator of the same
+  first/total-order decomposition (extension beyond the paper);
+* :mod:`repro.sensitivity.analysis` — runs the estimators against the
+  AEDB simulator over the paper's wide parameter ranges;
+* :mod:`repro.sensitivity.summary` — distils the indices and monotone
+  trend probes into the arrows/flags of the paper's Table I.
+"""
+
+from repro.sensitivity.fast import Fast99Result, fast99_indices, fast99_sample
+from repro.sensitivity.analysis import (
+    SENSITIVITY_RANGES,
+    AEDBSensitivityStudy,
+    ObjectiveSensitivity,
+)
+from repro.sensitivity.morris import MorrisResult, morris_indices
+from repro.sensitivity.sobol import (
+    SobolResult,
+    run_sobol,
+    saltelli_sample,
+    sobol_indices,
+)
+from repro.sensitivity.summary import Table1Cell, build_table1
+
+__all__ = [
+    "fast99_sample",
+    "fast99_indices",
+    "Fast99Result",
+    "morris_indices",
+    "MorrisResult",
+    "saltelli_sample",
+    "sobol_indices",
+    "run_sobol",
+    "SobolResult",
+    "AEDBSensitivityStudy",
+    "ObjectiveSensitivity",
+    "SENSITIVITY_RANGES",
+    "build_table1",
+    "Table1Cell",
+]

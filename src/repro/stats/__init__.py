@@ -1,0 +1,52 @@
+"""Statistical machinery for the algorithm comparison (Sect. VI).
+
+* :mod:`repro.stats.ranks` — midrank computation with tie handling;
+* :mod:`repro.stats.wilcoxon` — the two-sample Wilcoxon rank-sum test
+  (a.k.a. Mann-Whitney U) with tie-corrected normal approximation, the
+  test behind the paper's Table IV ("95% statistical confidence
+  according to Wilcoxon unpaired signed rank test");
+* :mod:`repro.stats.comparison` — pairwise ▲/▽/– comparison tables;
+* :mod:`repro.stats.descriptive` — five-number boxplot summaries
+  (Fig. 7);
+* :mod:`repro.stats.effects` — Vargha-Delaney A12 and Cliff's delta
+  effect sizes (extension: separates "significant" from "large");
+* :mod:`repro.stats.friedman` — Friedman omnibus test, Iman-Davenport
+  correction, Holm step-down adjustment and the pairwise post-hoc table
+  (extension: the >2-algorithm comparison workflow);
+* :mod:`repro.stats.bootstrap` — percentile and BCa bootstrap confidence
+  intervals for the indicator samples (extension).
+"""
+
+from repro.stats.bootstrap import BootstrapCI, bootstrap_ci
+from repro.stats.comparison import ComparisonCell, pairwise_comparison_table
+from repro.stats.descriptive import BoxplotStats, boxplot_stats
+from repro.stats.effects import EffectSize, cliffs_delta, vargha_delaney_a12
+from repro.stats.friedman import (
+    FriedmanResult,
+    PosthocCell,
+    friedman_posthoc,
+    friedman_test,
+    holm_bonferroni,
+)
+from repro.stats.ranks import midranks
+from repro.stats.wilcoxon import RankSumResult, rank_sum_test
+
+__all__ = [
+    "midranks",
+    "rank_sum_test",
+    "RankSumResult",
+    "pairwise_comparison_table",
+    "ComparisonCell",
+    "boxplot_stats",
+    "BoxplotStats",
+    "vargha_delaney_a12",
+    "cliffs_delta",
+    "EffectSize",
+    "friedman_test",
+    "FriedmanResult",
+    "friedman_posthoc",
+    "PosthocCell",
+    "holm_bonferroni",
+    "bootstrap_ci",
+    "BootstrapCI",
+]

@@ -1,0 +1,126 @@
+"""Pairwise algorithm comparison tables (paper Table IV).
+
+For each metric and each pair of algorithms, the table holds one symbol
+per problem instance: '▲' — the row algorithm is significantly *better*,
+'▽' — significantly worse, '–' — no significant difference at the chosen
+level.  "Better" depends on the metric's sense (spread and IGD are
+minimised, hypervolume maximised).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.stats.wilcoxon import rank_sum_test
+
+__all__ = ["ComparisonCell", "pairwise_comparison_table", "format_table"]
+
+#: Indicator sense: +1 = larger is better, -1 = smaller is better.
+METRIC_SENSE = {
+    "spread": -1,
+    "igd": -1,
+    "hypervolume": +1,
+    "epsilon": -1,
+}
+
+
+@dataclass(frozen=True)
+class ComparisonCell:
+    """Row-vs-column verdicts, one symbol per instance."""
+
+    row: str
+    column: str
+    metric: str
+    #: One of '▲', '▽', '–' per instance, in instance order.
+    symbols: tuple[str, ...]
+    #: Two-sided p-values per instance.
+    p_values: tuple[float, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return "".join(self.symbols)
+
+
+def _verdict(
+    row_sample: np.ndarray,
+    col_sample: np.ndarray,
+    sense: int,
+    alpha: float,
+) -> tuple[str, float]:
+    res = rank_sum_test(row_sample, col_sample)
+    if not res.significant(alpha):
+        return "–", res.p_value
+    row_larger = res.a_tends_larger
+    row_better = row_larger == (sense > 0)
+    return ("▲" if row_better else "▽"), res.p_value
+
+
+def pairwise_comparison_table(
+    samples: Mapping[str, Mapping[str, Sequence[np.ndarray]]],
+    metric: str,
+    algorithms: Sequence[str] | None = None,
+    alpha: float = 0.05,
+) -> list[ComparisonCell]:
+    """Build the upper-triangle comparison for one metric.
+
+    ``samples[algorithm][metric]`` must be a sequence of per-instance
+    sample arrays (one array of indicator values per problem instance —
+    densities, in the paper) with identical instance ordering.
+    """
+    if metric not in METRIC_SENSE:
+        raise ValueError(
+            f"unknown metric {metric!r}; known: {sorted(METRIC_SENSE)}"
+        )
+    sense = METRIC_SENSE[metric]
+    names = list(algorithms) if algorithms else list(samples.keys())
+    cells: list[ComparisonCell] = []
+    for i, row in enumerate(names):
+        for column in names[i + 1 :]:
+            row_instances = samples[row][metric]
+            col_instances = samples[column][metric]
+            if len(row_instances) != len(col_instances):
+                raise ValueError(
+                    f"instance count mismatch for {row} vs {column}"
+                )
+            symbols: list[str] = []
+            p_values: list[float] = []
+            for row_sample, col_sample in zip(row_instances, col_instances):
+                symbol, p = _verdict(
+                    np.asarray(row_sample), np.asarray(col_sample), sense, alpha
+                )
+                symbols.append(symbol)
+                p_values.append(p)
+            cells.append(
+                ComparisonCell(
+                    row=row,
+                    column=column,
+                    metric=metric,
+                    symbols=tuple(symbols),
+                    p_values=tuple(p_values),
+                )
+            )
+    return cells
+
+
+def format_table(
+    cells: Sequence[ComparisonCell],
+    metric: str,
+) -> str:
+    """Render cells as the paper's compact triangle (text)."""
+    rows = sorted({c.row for c in cells})
+    cols = sorted({c.column for c in cells})
+    lines = [f"[{metric}]"]
+    header = " " * 12 + "".join(f"{c:>14s}" for c in cols)
+    lines.append(header)
+    for r in rows:
+        entries = []
+        for c in cols:
+            cell = next(
+                (x for x in cells if x.row == r and x.column == c), None
+            )
+            entries.append("".join(cell.symbols) if cell else "")
+        if any(entries):
+            lines.append(f"{r:>12s}" + "".join(f"{e:>14s}" for e in entries))
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Boxplot descriptive statistics (paper Fig. 7).
+
+The paper shows the 30-run indicator distributions as boxplots; this
+module computes the standard five-number summary plus Tukey whiskers and
+outliers, so the benchmark harness can print the exact geometry a plot
+would draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoxplotStats", "boxplot_stats"]
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary with Tukey fences."""
+
+    n: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    #: Whisker ends (innermost points within 1.5 IQR of the box).
+    whisker_low: float
+    whisker_high: float
+    #: Values beyond the whiskers.
+    outliers: tuple[float, ...]
+    mean: float
+    std: float
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range."""
+        return self.q3 - self.q1
+
+    def row(self, label: str = "") -> str:
+        """One aligned text row (used by the Fig. 7 harness)."""
+        return (
+            f"{label:>12s}  n={self.n:3d}  "
+            f"min={self.minimum:9.4f}  q1={self.q1:9.4f}  "
+            f"med={self.median:9.4f}  q3={self.q3:9.4f}  "
+            f"max={self.maximum:9.4f}  outliers={len(self.outliers)}"
+        )
+
+
+def boxplot_stats(values) -> BoxplotStats:
+    """Compute the summary for one sample (linear-interpolated quartiles)."""
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inside = arr[(arr >= low_fence) & (arr <= high_fence)]
+    whisker_low = float(inside.min()) if inside.size else float(arr.min())
+    whisker_high = float(inside.max()) if inside.size else float(arr.max())
+    outliers = tuple(
+        float(v) for v in np.sort(arr[(arr < low_fence) | (arr > high_fence)])
+    )
+    return BoxplotStats(
+        n=int(arr.size),
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=outliers,
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+    )

@@ -1,0 +1,41 @@
+"""Rank utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["midranks", "tie_groups"]
+
+
+def midranks(values: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties receiving their group's average rank."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D values, got shape {arr.shape}")
+    order = np.argsort(arr, kind="stable")
+    ranks = np.empty(arr.size, dtype=float)
+    sorted_vals = arr[order]
+    i = 0
+    while i < arr.size:
+        j = i
+        while j + 1 < arr.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        # Positions i..j share the average of ranks i+1..j+1.
+        ranks[order[i : j + 1]] = 0.5 * ((i + 1) + (j + 1))
+        i = j + 1
+    return ranks
+
+
+def tie_groups(values: np.ndarray) -> list[int]:
+    """Sizes of tie groups (>= 2) — the tie-correction ingredients."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    groups: list[int] = []
+    i = 0
+    while i < arr.size:
+        j = i
+        while j + 1 < arr.size and arr[j + 1] == arr[i]:
+            j += 1
+        if j > i:
+            groups.append(j - i + 1)
+        i = j + 1
+    return groups

@@ -1,0 +1,43 @@
+"""Table III — the optimisation domains of the five AEDB variables.
+
+Kept in one place (mirroring :attr:`repro.manet.aedb.AEDBParams.DOMAINS`)
+so the tuning problem, the local-search operators, and the sensitivity
+analysis all agree on variable order and ranges.  The sensitivity
+analysis deliberately uses *wider* ranges (Sect. III-B); those live in
+:mod:`repro.sensitivity.analysis`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.manet.aedb import AEDBParams
+
+__all__ = [
+    "VARIABLE_DOMAINS",
+    "variable_names",
+    "lower_bounds",
+    "upper_bounds",
+    "BROADCAST_TIME_LIMIT_S",
+]
+
+#: (name, lower, upper) for each optimisation variable, Table III order.
+VARIABLE_DOMAINS: tuple[tuple[str, float, float], ...] = AEDBParams.DOMAINS
+
+#: The feasibility constraint of Eq. 1: broadcast time must stay below 2 s.
+BROADCAST_TIME_LIMIT_S: float = 2.0
+
+
+def variable_names() -> tuple[str, ...]:
+    """Variable names in canonical (vector) order."""
+    return AEDBParams.names()
+
+
+def lower_bounds() -> np.ndarray:
+    """Lower bounds vector (Table III)."""
+    return AEDBParams.lower_bounds()
+
+
+def upper_bounds() -> np.ndarray:
+    """Upper bounds vector (Table III)."""
+    return AEDBParams.upper_bounds()

@@ -1,0 +1,79 @@
+"""Optional evaluation memoisation.
+
+The simulator makes fitness a pure function of the parameter vector, so
+re-evaluating an identical vector (which population algorithms do when
+clones survive selection) is wasted work.  The cache is keyed on the
+vector rounded to a configurable precision and is thread-safe (AEDB-MLS's
+shared-memory engine evaluates from many threads).
+
+Disabled by default in experiment presets — the paper does not cache — but
+exposed for the ablation benchmarks and for interactive use.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["EvaluationCache"]
+
+
+class EvaluationCache:
+    """Bounded memoisation of ``vector -> payload`` evaluations."""
+
+    def __init__(self, decimals: int = 9, max_entries: int = 100_000):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.decimals = int(decimals)
+        self.max_entries = int(max_entries)
+        self._store: dict[tuple[float, ...], object] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, vector: np.ndarray) -> tuple[float, ...]:
+        """Cache key: the vector rounded to ``decimals`` places."""
+        return tuple(np.round(np.asarray(vector, dtype=float), self.decimals))
+
+    def get_or_compute(
+        self, vector: np.ndarray, compute: Callable[[], object]
+    ) -> object:
+        """Return the cached payload or compute, store, and return it.
+
+        ``compute`` runs outside the lock (evaluations are slow; holding
+        the lock would serialise the engines).  A rare duplicate compute
+        for the same key is accepted — last writer wins, results being
+        deterministic makes that harmless.
+        """
+        key = self.key_for(vector)
+        with self._lock:
+            if key in self._store:
+                self.hits += 1
+                return self._store[key]
+        payload = compute()
+        with self._lock:
+            self.misses += 1
+            if len(self._store) >= self.max_entries:
+                # Degenerate but bounded: drop an arbitrary entry.
+                self._store.pop(next(iter(self._store)))
+            self._store[key] = payload
+        return payload
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries and reset counters."""
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0

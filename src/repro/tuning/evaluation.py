@@ -1,0 +1,166 @@
+"""Multi-network fitness evaluation.
+
+"The quality of the solution is not tested in one single network but in
+10 different networks, and the fitness value of each objective is defined
+as the average value of the 10 runs.  These 10 networks are always the
+same for evaluating every solution."  (paper, Sect. V)
+
+:class:`NetworkSetEvaluator` owns that fixed network set and turns an
+:class:`~repro.manet.aedb.AEDBParams` into averaged
+:class:`~repro.manet.metrics.BroadcastMetrics`.
+
+:class:`ParallelNetworkSetEvaluator` fans the per-network simulations
+out to a process pool (each run is a pure function of
+``(scenario, params)``, so the fan-out is embarrassingly parallel and
+bit-for-bit identical to the serial evaluator).  Worth it when the
+per-simulation cost dominates the process round-trip — the paper-scale
+75-node networks, not the tiny test fixtures; the break-even is
+measured in ``benchmarks/bench_simulator.py``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.manet.aedb import AEDBParams
+from repro.manet.metrics import BroadcastMetrics, aggregate_metrics
+from repro.manet.scenarios import NetworkScenario, make_scenarios
+from repro.manet.simulator import BroadcastSimulator
+from repro.tuning.cache import EvaluationCache
+
+__all__ = ["NetworkSetEvaluator", "ParallelNetworkSetEvaluator"]
+
+
+def _simulate_one(scenario: NetworkScenario, params: AEDBParams) -> BroadcastMetrics:
+    """Module-level worker (must be picklable for process pools)."""
+    return BroadcastSimulator(scenario, params).run()
+
+
+class NetworkSetEvaluator:
+    """Average AEDB broadcast metrics over a fixed scenario set."""
+
+    def __init__(
+        self,
+        scenarios: list[NetworkScenario],
+        cache: EvaluationCache | None = None,
+    ):
+        if not scenarios:
+            raise ValueError("scenario set must be non-empty")
+        n_nodes = {s.n_nodes for s in scenarios}
+        if len(n_nodes) != 1:
+            raise ValueError(
+                f"scenario set mixes node counts: {sorted(n_nodes)}"
+            )
+        self.scenarios = list(scenarios)
+        self.cache = cache
+        #: Simulations actually executed (cache hits excluded).
+        self.simulations_run = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_density(
+        cls,
+        density_per_km2: float,
+        n_networks: int = 10,
+        master_seed: int = 0xAEDB,
+        n_nodes: int | None = None,
+        sim=None,
+        cache: EvaluationCache | None = None,
+    ) -> "NetworkSetEvaluator":
+        """Build the paper's evaluation set for one density."""
+        return cls(
+            make_scenarios(
+                density_per_km2,
+                n_networks=n_networks,
+                master_seed=master_seed,
+                n_nodes=n_nodes,
+                sim=sim,
+            ),
+            cache=cache,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_networks(self) -> int:
+        """Number of evaluation networks."""
+        return len(self.scenarios)
+
+    @property
+    def n_nodes(self) -> int:
+        """Devices per network."""
+        return self.scenarios[0].n_nodes
+
+    def _simulate_all(self, params: AEDBParams) -> BroadcastMetrics:
+        runs = []
+        for scenario in self.scenarios:
+            runs.append(BroadcastSimulator(scenario, params).run())
+            self.simulations_run += 1
+        return aggregate_metrics(runs)
+
+    def evaluate(self, params: AEDBParams) -> BroadcastMetrics:
+        """Averaged metrics for one configuration (cached if enabled)."""
+        if self.cache is None:
+            return self._simulate_all(params)
+        result = self.cache.get_or_compute(
+            params.as_array(), lambda: self._simulate_all(params)
+        )
+        assert isinstance(result, BroadcastMetrics)
+        return result
+
+    def evaluate_vector(self, vector: np.ndarray) -> BroadcastMetrics:
+        """Averaged metrics for a raw parameter vector (clipped)."""
+        return self.evaluate(AEDBParams.from_array(vector).clipped())
+
+
+class ParallelNetworkSetEvaluator(NetworkSetEvaluator):
+    """Evaluator that simulates the network set on a process pool.
+
+    Drop-in for :class:`NetworkSetEvaluator` — identical results
+    (simulations are pure functions of their inputs and are aggregated
+    in scenario order), different wall-clock.  The pool is created
+    lazily on first use and shut down by :meth:`close` or the context
+    manager.
+    """
+
+    def __init__(
+        self,
+        scenarios: list[NetworkScenario],
+        cache: EvaluationCache | None = None,
+        max_workers: int | None = None,
+    ):
+        super().__init__(scenarios, cache=cache)
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _simulate_all(self, params: AEDBParams) -> BroadcastMetrics:
+        pool = self._ensure_pool()
+        runs = list(
+            pool.map(
+                _simulate_one,
+                self.scenarios,
+                [params] * len(self.scenarios),
+            )
+        )
+        self.simulations_run += len(runs)
+        return aggregate_metrics(runs)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelNetworkSetEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

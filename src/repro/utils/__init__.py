@@ -1,0 +1,34 @@
+"""Shared low-level utilities: deterministic RNG fan-out, radio unit
+conversions, and argument-validation helpers.
+
+These modules are dependency-free (NumPy only) and used by every other
+subpackage; nothing here knows about MANETs or optimisation.
+"""
+
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+from repro.utils.units import (
+    DBM_MINUS_INF,
+    dbm_sum,
+    dbm_to_mw,
+    mw_to_dbm,
+)
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "DBM_MINUS_INF",
+    "dbm_sum",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,52 @@
+"""Radio power-unit conversions (dBm <-> mW) and dBm-domain arithmetic.
+
+The AEDB literature (and ns3) quotes every power level in dBm; interference
+sums must nevertheless happen in the linear (mW) domain.  These helpers keep
+that conversion in one audited place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dbm_to_mw", "mw_to_dbm", "dbm_sum", "DBM_MINUS_INF"]
+
+#: Sentinel for "no signal" in dBm-domain arrays.  Finite (so vectorised
+#: arithmetic stays NaN-free) but far below any detection threshold.
+DBM_MINUS_INF: float = -1.0e3
+
+
+def dbm_to_mw(dbm):
+    """Convert dBm to milliwatts.  Accepts scalars or arrays."""
+    return np.power(10.0, np.asarray(dbm, dtype=float) / 10.0)
+
+
+def mw_to_dbm(mw):
+    """Convert milliwatts to dBm.  Accepts scalars or arrays.
+
+    Non-positive powers map to :data:`DBM_MINUS_INF` rather than raising or
+    producing ``-inf``, which keeps downstream comparisons well-defined.
+    """
+    mw_arr = np.asarray(mw, dtype=float)
+    out = np.full(mw_arr.shape, DBM_MINUS_INF)
+    positive = mw_arr > 0.0
+    # np.log10 on the masked selection only, to avoid warnings on zeros.
+    out[positive] = 10.0 * np.log10(mw_arr[positive])
+    if np.isscalar(mw) or mw_arr.ndim == 0:
+        return float(out) if mw_arr.ndim == 0 else float(out[()])
+    return out
+
+
+def dbm_sum(dbm_values) -> float:
+    """Power-sum of dBm values (convert to mW, add, convert back).
+
+    This is the physically correct way to aggregate interference from
+    multiple concurrent transmitters; it is *not* what the paper's "energy"
+    objective does (that objective adds raw dBm figures — see
+    ``repro.manet.metrics``).
+    """
+    arr = np.asarray(dbm_values, dtype=float)
+    if arr.size == 0:
+        return DBM_MINUS_INF
+    total_mw = float(np.sum(dbm_to_mw(arr)))
+    return mw_to_dbm(total_mw)

@@ -1,0 +1,59 @@
+"""Small argument-validation helpers with consistent error messages.
+
+Public constructors across the package use these so configuration mistakes
+fail fast with an actionable message instead of surfacing as NaNs deep in a
+simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_finite",
+]
+
+
+def check_finite(value: float, name: str) -> float:
+    """Require a finite real number; return it as ``float``."""
+    val = float(value)
+    if not math.isfinite(val):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return val
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Require ``value`` > 0 (or >= 0 when ``strict`` is False)."""
+    val = check_finite(value, name)
+    if strict and val <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and val < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return val
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Require ``low <= value <= high`` (strict bounds when not inclusive)."""
+    val = check_finite(value, name)
+    if inclusive:
+        if not (low <= val <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < val < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+    return val
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``value`` in [0, 1]."""
+    return check_in_range(value, name, 0.0, 1.0)

@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Simulation-backed tests use deliberately tiny network sets (small node
+counts, 1-2 networks) so the whole suite stays fast; the experiment-scale
+behaviour is exercised by the benchmarks instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.manet.aedb import AEDBParams
+from repro.manet.config import SimulationConfig
+from repro.manet.scenarios import make_scenarios
+from repro.tuning import AEDBTuningProblem, NetworkSetEvaluator
+
+
+@pytest.fixture(scope="session")
+def tiny_scenarios():
+    """Two small 15-node networks (density label 100)."""
+    return make_scenarios(100, n_networks=2, n_nodes=15, master_seed=0xBEEF)
+
+
+@pytest.fixture(scope="session")
+def tiny_evaluator(tiny_scenarios):
+    """Evaluator over the tiny scenario set."""
+    return NetworkSetEvaluator(tiny_scenarios)
+
+
+@pytest.fixture()
+def tiny_problem(tiny_scenarios):
+    """A fresh AEDB tuning problem per test (evaluation counters reset)."""
+    return AEDBTuningProblem(NetworkSetEvaluator(list(tiny_scenarios)))
+
+
+@pytest.fixture(scope="session")
+def default_params():
+    """A mid-range, typically feasible AEDB configuration."""
+    return AEDBParams(
+        min_delay_s=0.0,
+        max_delay_s=1.0,
+        border_threshold_dbm=-90.0,
+        margin_threshold_db=1.0,
+        neighbors_threshold=10.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def sim_config():
+    """The paper's Table II simulation configuration."""
+    return SimulationConfig()
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,131 @@
+"""AEDB-MLS search criteria and the Eq. 2 perturbation operator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.criteria import SEARCH_CRITERIA, select_criterion
+from repro.core.operators import blx_alpha_step
+from repro.manet.aedb import AEDBParams
+
+LO = AEDBParams.lower_bounds()
+HI = AEDBParams.upper_bounds()
+
+
+class TestCriteria:
+    def test_three_criteria(self):
+        assert len(SEARCH_CRITERIA) == 3
+
+    def test_paper_variable_groups(self):
+        by_name = {c.name: c for c in SEARCH_CRITERIA}
+        assert by_name["energy-forwardings"].variable_names() == (
+            "border_threshold_dbm",
+            "neighbors_threshold",
+        )
+        assert by_name["coverage"].variable_names() == ("neighbors_threshold",)
+        assert by_name["broadcast-time"].variable_names() == (
+            "min_delay_s",
+            "max_delay_s",
+        )
+
+    def test_uniform_selection(self):
+        rng = np.random.default_rng(0)
+        counts = {c.name: 0 for c in SEARCH_CRITERIA}
+        for _ in range(3000):
+            counts[select_criterion(rng).name] += 1
+        for count in counts.values():
+            assert 800 < count < 1200
+
+    def test_weighted_selection(self):
+        rng = np.random.default_rng(0)
+        counts = {c.name: 0 for c in SEARCH_CRITERIA}
+        for _ in range(2000):
+            counts[select_criterion(rng, weights=(1.0, 0.0, 0.0)).name] += 1
+        assert counts["energy-forwardings"] == 2000
+
+
+class TestBlxAlphaStep:
+    def criterion(self, name):
+        return next(c for c in SEARCH_CRITERIA if c.name == name)
+
+    def test_only_criterion_variables_move(self, rng):
+        current = np.array([0.5, 2.0, -85.0, 1.5, 25.0])
+        reference = np.array([0.1, 4.0, -75.0, 0.5, 45.0])
+        crit = self.criterion("broadcast-time")
+        child = blx_alpha_step(current, reference, crit, 0.2, LO, HI, rng)
+        np.testing.assert_array_equal(child[2:], current[2:])
+        assert child[0] != current[0] or child[1] != current[1]
+
+    def test_degenerates_when_equal(self, rng):
+        current = np.array([0.5, 2.0, -85.0, 1.5, 25.0])
+        child = blx_alpha_step(
+            current, current, self.criterion("coverage"), 0.2, LO, HI, rng
+        )
+        np.testing.assert_array_equal(child, current)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=40)
+    def test_in_bounds(self, seed):
+        gen = np.random.default_rng(seed)
+        current = gen.uniform(LO, HI)
+        reference = gen.uniform(LO, HI)
+        crit = SEARCH_CRITERIA[seed % 3]
+        child = blx_alpha_step(current, reference, crit, 0.2, LO, HI, gen)
+        assert np.all(child >= LO) and np.all(child <= HI)
+
+    def test_step_bounded_by_two_alpha_distance(self):
+        crit = self.criterion("coverage")
+        idx = crit.variable_indices[0]
+        current = np.array([0.5, 2.0, -85.0, 1.5, 25.0])
+        reference = current.copy()
+        reference[idx] = 35.0  # distance 10
+        for seed in range(100):
+            child = blx_alpha_step(
+                current, reference, crit, 0.2, LO, HI,
+                np.random.default_rng(seed),
+            )
+            # phi = 0.2 * 10 = 2; step in [-2*phi, +phi) = [-4, 2).
+            assert -4.0 - 1e-9 <= child[idx] - current[idx] < 2.0 + 1e-9
+
+    def test_published_asymmetry_biases_downward(self):
+        # (3 rho - 2) has mean -0.5: steps drift down on average.
+        crit = self.criterion("coverage")
+        idx = crit.variable_indices[0]
+        current = np.array([0.5, 2.0, -85.0, 1.5, 25.0])
+        reference = current.copy()
+        reference[idx] = 35.0
+        rng = np.random.default_rng(3)
+        steps = [
+            blx_alpha_step(current, reference, crit, 0.2, LO, HI, rng)[idx]
+            - current[idx]
+            for _ in range(2000)
+        ]
+        assert np.mean(steps) < -0.5  # expected -1.0 = phi * -0.5
+
+    def test_symmetric_mode_centred(self):
+        crit = self.criterion("coverage")
+        idx = crit.variable_indices[0]
+        current = np.array([0.5, 2.0, -85.0, 1.5, 25.0])
+        reference = current.copy()
+        reference[idx] = 35.0
+        rng = np.random.default_rng(3)
+        steps = [
+            blx_alpha_step(
+                current, reference, crit, 0.2, LO, HI, rng, symmetric=True
+            )[idx]
+            - current[idx]
+            for _ in range(2000)
+        ]
+        assert abs(np.mean(steps)) < 0.15
+
+    def test_rejects_bad_alpha(self, rng):
+        with pytest.raises(ValueError):
+            blx_alpha_step(
+                np.zeros(5), np.zeros(5), SEARCH_CRITERIA[0], 0.0, LO, HI, rng
+            )
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            blx_alpha_step(
+                np.zeros(5), np.zeros(4), SEARCH_CRITERIA[0], 0.2, LO, HI, rng
+            )

@@ -1,0 +1,106 @@
+"""CellDE-MLS hybrid (the paper's Sect. VII future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import CellDEMLS
+from repro.moo.algorithms import CellDE
+from tests.core.test_localsearch import ToyAEDBLike
+
+
+class TestConstruction:
+    def test_requires_five_variables(self):
+        from repro.moo.problems import ZDT1
+
+        with pytest.raises(ValueError):
+            CellDEMLS(ZDT1(), max_evaluations=100, grid_side=3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ls_candidates": 0},
+            {"ls_iterations": 0},
+            {"ls_period": 0},
+            {"alpha": 0.0},
+            {"alpha": 1.0},
+        ],
+    )
+    def test_validates_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            CellDEMLS(ToyAEDBLike(), max_evaluations=100, grid_side=3, **kwargs)
+
+
+class TestBehaviour:
+    def test_runs_and_respects_budget(self):
+        alg = CellDEMLS(
+            ToyAEDBLike(), max_evaluations=300, grid_side=3, rng=1
+        )
+        result = alg.run()
+        assert result.evaluations == 300
+        assert result.algorithm == "CellDE-MLS"
+        assert len(result.front) > 0
+
+    def test_local_search_actually_spends_evaluations(self):
+        alg = CellDEMLS(
+            ToyAEDBLike(),
+            max_evaluations=400,
+            grid_side=3,
+            ls_candidates=3,
+            ls_iterations=4,
+            rng=2,
+        )
+        result = alg.run()
+        assert result.info["ls_evaluations"] > 0
+        # Cellular + memetic evaluations sum to the budget.
+        assert result.evaluations == 400
+
+    def test_deterministic(self):
+        a = CellDEMLS(ToyAEDBLike(), max_evaluations=250, grid_side=3, rng=9).run()
+        b = CellDEMLS(ToyAEDBLike(), max_evaluations=250, grid_side=3, rng=9).run()
+        np.testing.assert_array_equal(
+            a.objectives_matrix(), b.objectives_matrix()
+        )
+
+    def test_front_feasible(self):
+        result = CellDEMLS(
+            ToyAEDBLike(), max_evaluations=300, grid_side=3, rng=4
+        ).run()
+        assert all(s.is_feasible for s in result.front)
+
+    def test_refinement_feeds_archive(self):
+        alg = CellDEMLS(
+            ToyAEDBLike(),
+            max_evaluations=500,
+            grid_side=3,
+            ls_candidates=4,
+            ls_iterations=6,
+            rng=5,
+        )
+        result = alg.run()
+        # Improvements are counted only when the archive accepts.
+        assert result.info["ls_improvements"] >= 0
+        assert result.info["ls_evaluations"] >= result.info["ls_improvements"]
+
+    def test_comparable_to_plain_cellde(self):
+        # Not a strict win (budgets are tiny here) — the hybrid must stay
+        # in the same quality region as its base algorithm.
+        hybrid = CellDEMLS(
+            ToyAEDBLike(), max_evaluations=400, grid_side=3, rng=6
+        ).run()
+        plain = CellDE(
+            ToyAEDBLike(), max_evaluations=400, grid_side=3, rng=6
+        ).run()
+        best_h = hybrid.objectives_matrix().min(axis=0)
+        best_p = plain.objectives_matrix().min(axis=0)
+        np.testing.assert_allclose(best_h, best_p, atol=40.0)
+
+
+class TestRunnerIntegration:
+    def test_make_algorithm_knows_hybrid(self):
+        from repro.experiments.config import get_scale
+        from repro.experiments.runner import make_algorithm
+        from repro.tuning import make_tuning_problem
+
+        problem = make_tuning_problem(100, n_networks=1, n_nodes=8)
+        alg = make_algorithm("CellDE-MLS", problem, get_scale("quick"), 0)
+        assert isinstance(alg, CellDEMLS)

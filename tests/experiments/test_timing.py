@@ -1,0 +1,70 @@
+"""The timing harness (TIME experiment) at a tiny scale."""
+
+import pytest
+
+from repro.core.config import MLSConfig
+from repro.experiments.config import ExperimentScale
+from repro.experiments.timing import TimingReport, TimingRow, run_timing_experiment
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    scale = ExperimentScale(
+        name="tiny",
+        n_runs=1,
+        n_networks=1,
+        moea_evaluations=60,
+        nsgaii_population=10,
+        cellde_grid_side=3,
+        mls=MLSConfig(
+            n_populations=2,
+            threads_per_population=2,
+            evaluations_per_thread=15,
+            reset_iterations=10,
+        ),
+    )
+    return run_timing_experiment(
+        densities=(100,), scale=scale, mls_engine="serial", seed=3
+    )
+
+
+class TestTimingExperiment:
+    def test_rows_complete(self, tiny_report):
+        names = {r.algorithm for r in tiny_report.rows}
+        assert names == {"NSGAII", "CellDE", "AEDB-MLS"}
+        for row in tiny_report.rows:
+            assert row.evaluations > 0
+            assert row.wall_s > 0
+            assert row.evals_per_second > 0
+
+    def test_speedup_and_ratio(self, tiny_report):
+        assert tiny_report.speedup(100) > 0
+        assert tiny_report.eval_ratio(100) == pytest.approx(60 / 60.0)
+
+    def test_lookup_missing_raises(self, tiny_report):
+        with pytest.raises(KeyError):
+            tiny_report.row("SPEA2", 100)
+
+    def test_render(self, tiny_report):
+        text = tiny_report.render()
+        assert "AEDB-MLS" in text and "evals/s" in text
+
+
+class TestTimingRow:
+    def test_throughput(self):
+        row = TimingRow("X", 100, "serial", evaluations=100, wall_s=2.0)
+        assert row.evals_per_second == 50.0
+
+    def test_zero_wall_guard(self):
+        row = TimingRow("X", 100, "serial", evaluations=100, wall_s=0.0)
+        assert row.evals_per_second == 0.0
+
+    def test_report_speedup_math(self):
+        report = TimingReport(
+            rows=[
+                TimingRow("NSGAII", 100, "serial", 100, 10.0),   # 0.1 s/eval
+                TimingRow("AEDB-MLS", 100, "processes", 200, 5.0),  # 0.025
+            ]
+        )
+        assert report.speedup(100) == pytest.approx(4.0)
+        assert report.eval_ratio(100) == pytest.approx(2.0)

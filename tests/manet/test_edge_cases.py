@@ -1,0 +1,163 @@
+"""Substrate edge cases and failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.manet.aedb import AEDBParams
+from repro.manet.config import RadioConfig, SimulationConfig
+from repro.manet.events import EventQueue
+from repro.manet.mobility import StaticMobility
+from repro.manet.protocols import FloodingProtocol, ProtocolSimulator
+from repro.manet.scenarios import NetworkScenario
+from repro.manet.simulator import BroadcastSimulator, simulate_broadcast
+
+
+def scenario_with(positions, source=0, sim=None):
+    pos = np.asarray(positions, dtype=float)
+    cfg = sim or SimulationConfig()
+    scen = NetworkScenario(
+        density_per_km2=100.0,
+        network_index=0,
+        n_nodes=pos.shape[0],
+        mobility_seed=1,
+        source=source,
+        sim=cfg,
+    )
+    return scen, StaticMobility(pos, cfg.area_side_m)
+
+
+class TestDegenerateNetworks:
+    def test_two_isolated_nodes_zero_coverage(self):
+        # 450 m apart: far beyond the ~151 m decode range.
+        scen, mob = scenario_with([(25.0, 250.0), (475.0, 250.0)])
+        m = BroadcastSimulator(scen, AEDBParams(), mobility=mob).run()
+        assert m.coverage == 0
+        assert m.forwardings == 0
+        assert m.broadcast_time_s == 0.0
+
+    def test_two_connected_nodes(self):
+        scen, mob = scenario_with([(200.0, 250.0), (300.0, 250.0)])
+        m = BroadcastSimulator(
+            scen, AEDBParams(max_delay_s=0.2), mobility=mob
+        ).run()
+        assert m.coverage == 1
+        # The receiver has nobody new to reach; whether it forwards
+        # depends on the border test, but metrics must stay consistent.
+        assert m.forwardings in (0, 1)
+
+    def test_source_equals_last_node_index(self):
+        scen, mob = scenario_with(
+            [(200.0, 250.0), (300.0, 250.0)], source=1
+        )
+        m = BroadcastSimulator(scen, AEDBParams(), mobility=mob).run()
+        assert m.coverage == 1
+
+    def test_all_nodes_stacked_at_one_point(self):
+        # Zero distances: path loss clamps at the reference distance;
+        # everyone hears the (very strong) frame and drops by border.
+        scen, mob = scenario_with([(250.0, 250.0)] * 5)
+        m = BroadcastSimulator(scen, AEDBParams(), mobility=mob).run()
+        assert m.coverage == 4
+        assert m.forwardings == 0  # all copies far above border threshold
+
+
+class TestExtremeParameters:
+    def test_zero_delay_window(self):
+        scen, mob = scenario_with(
+            [(100.0, 250.0), (200.0, 250.0), (300.0, 250.0)]
+        )
+        params = AEDBParams(min_delay_s=0.0, max_delay_s=0.0)
+        m = BroadcastSimulator(scen, params, mobility=mob).run()
+        assert m.broadcast_time_s < 0.5
+
+    def test_degenerate_reversed_delay_window(self):
+        # min > max is representable; the protocol orders the interval.
+        scen, mob = scenario_with([(100.0, 250.0), (200.0, 250.0)])
+        params = AEDBParams(min_delay_s=0.9, max_delay_s=0.1)
+        m = BroadcastSimulator(scen, params, mobility=mob).run()
+        assert m.coverage == 1
+
+    def test_neighbors_threshold_zero_always_dense_regime(self):
+        scen, mob = scenario_with(
+            [(100.0, 250.0), (200.0, 250.0), (300.0, 250.0)]
+        )
+        params = AEDBParams(neighbors_threshold=0.0)
+        m = BroadcastSimulator(scen, params, mobility=mob).run()
+        # Dense regime shrinks power to the closest potential forwarder;
+        # metrics remain physical.
+        max_power = scen.sim.radio.default_tx_power_dbm
+        assert m.energy_dbm <= (m.forwardings + 1) * max_power + 1e-9
+
+    def test_min_power_floor_respected(self):
+        radio = RadioConfig(min_tx_power_dbm=10.0)
+        sim = SimulationConfig(radio=radio)
+        scen, mob = scenario_with(
+            [(100.0, 250.0), (160.0, 250.0), (220.0, 250.0)], sim=sim
+        )
+        simulator = BroadcastSimulator(scen, AEDBParams(), mobility=mob)
+        simulator.run()
+        assert all(f.tx_power_dbm >= 10.0 for f in simulator.medium.history)
+
+
+class TestEventQueueFailureModes:
+    def test_scheduling_in_past_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda t: None)
+        q.run_until(10.0)
+        with pytest.raises(ValueError):
+            q.schedule(3.0, lambda t: None)
+
+    def test_runaway_schedule_guard(self):
+        q = EventQueue()
+
+        def reschedule(t):
+            q.schedule(t + 1e-9, reschedule)
+
+        q.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            q.run_all(hard_limit=1000)
+
+    def test_cancelled_events_do_not_fire(self):
+        q = EventQueue()
+        fired = []
+        handle = q.schedule(1.0, lambda t: fired.append(t))
+        handle.cancel()
+        q.run_until(2.0)
+        assert fired == []
+
+
+class TestConfigFailureModes:
+    def test_bad_radio_configs(self):
+        with pytest.raises(ValueError):
+            RadioConfig(path_loss_exponent=0.0)
+        with pytest.raises(ValueError):
+            RadioConfig(min_tx_power_dbm=20.0)  # above default
+        with pytest.raises(ValueError):
+            RadioConfig(frequency_ghz=-1.0)
+
+    def test_bad_simulation_configs(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(warmup_s=50.0, horizon_s=40.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(area_side_m=0.0)
+
+    def test_protocol_simulator_rejects_foreign_mobility(self, tiny_scenarios):
+        foreign = StaticMobility(np.zeros((99, 2)), 500.0)
+        with pytest.raises(ValueError):
+            ProtocolSimulator(
+                tiny_scenarios[0],
+                lambda ctx: FloodingProtocol(ctx),
+                mobility=foreign,
+            )
+
+
+class TestDeterminismAcrossConstructions:
+    def test_simulate_broadcast_pure_under_repeated_module_use(
+        self, tiny_scenarios
+    ):
+        params = AEDBParams(0.1, 0.7, -88.0, 0.5, 5.0)
+        results = {
+            simulate_broadcast(tiny_scenarios[0], params).as_tuple()
+            for _ in range(3)
+        }
+        assert len(results) == 1

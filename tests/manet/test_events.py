@@ -1,0 +1,108 @@
+"""Discrete-event queue semantics."""
+
+import pytest
+
+from repro.manet.events import EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(3.0, lambda t: log.append(("c", t)))
+        q.schedule(1.0, lambda t: log.append(("a", t)))
+        q.schedule(2.0, lambda t: log.append(("b", t)))
+        q.run_all()
+        assert [x[0] for x in log] == ["a", "b", "c"]
+
+    def test_stable_ties(self):
+        q = EventQueue()
+        log = []
+        for name in "abcd":
+            q.schedule(1.0, lambda t, n=name: log.append(n))
+        q.run_all()
+        assert log == list("abcd")
+
+    def test_now_advances(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(5.0, lambda t: seen.append(q.now))
+        q.run_all()
+        assert seen == [5.0]
+        assert q.now == 5.0
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        log = []
+
+        def first(t):
+            log.append(("first", t))
+            q.schedule(t + 1.0, lambda t2: log.append(("second", t2)))
+
+        q.schedule(1.0, first)
+        q.run_all()
+        assert log == [("first", 1.0), ("second", 2.0)]
+
+
+class TestHorizon:
+    def test_run_until_stops(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda t: log.append(1))
+        q.schedule(10.0, lambda t: log.append(10))
+        fired = q.run_until(5.0)
+        assert fired == 1 and log == [1]
+        assert q.pending == 1
+        q.run_until(20.0)
+        assert log == [1, 10]
+
+    def test_boundary_inclusive(self):
+        q = EventQueue()
+        log = []
+        q.schedule(5.0, lambda t: log.append(t))
+        q.run_until(5.0)
+        assert log == [5.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        log = []
+        handle = q.schedule(1.0, lambda t: log.append("x"))
+        handle.cancel()
+        q.run_all()
+        assert log == []
+        assert q.fired == 0
+
+    def test_pending_excludes_cancelled(self):
+        q = EventQueue()
+        h = q.schedule(1.0, lambda t: None)
+        q.schedule(2.0, lambda t: None)
+        h.cancel()
+        assert q.pending == 1
+
+
+class TestSafety:
+    def test_rejects_scheduling_in_past(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda t: None)
+        q.run_all()
+        with pytest.raises(ValueError):
+            q.schedule(1.0, lambda t: None)
+
+    def test_runaway_guard(self):
+        q = EventQueue()
+
+        def loop(t):
+            q.schedule(t + 0.001, loop)
+
+        q.schedule(0.0, loop)
+        with pytest.raises(RuntimeError):
+            q.run_all(hard_limit=100)
+
+    def test_fired_counter(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(float(i), lambda t: None)
+        q.run_all()
+        assert q.fired == 5

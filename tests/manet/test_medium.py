@@ -1,0 +1,134 @@
+"""Radio medium: delivery, half duplex, collisions, capture."""
+
+import numpy as np
+import pytest
+
+from repro.manet.config import RadioConfig
+from repro.manet.events import EventQueue
+from repro.manet.medium import RadioMedium
+from repro.manet.mobility import StaticMobility
+
+
+def make_medium(positions, radio=None):
+    radio = radio or RadioConfig()
+    queue = EventQueue()
+    mobility = StaticMobility(np.asarray(positions, dtype=float), 500.0)
+    deliveries = []
+
+    def on_delivery(receiver, frame, rx_dbm, t):
+        deliveries.append((receiver, frame.sender, rx_dbm, t))
+
+    medium = RadioMedium(queue, mobility, radio, on_delivery)
+    return queue, medium, deliveries
+
+
+class TestDelivery:
+    def test_in_range_node_receives(self):
+        queue, medium, deliveries = make_medium([[0, 0], [50, 0]])
+        medium.transmit(0, 16.02, 0.0)
+        queue.run_all()
+        assert [(r, s) for r, s, _, _ in deliveries] == [(1, 0)]
+
+    def test_out_of_range_node_does_not(self):
+        # Default range ~143 m.
+        queue, medium, deliveries = make_medium([[0, 0], [200, 0]])
+        medium.transmit(0, 16.02, 0.0)
+        queue.run_all()
+        assert deliveries == []
+
+    def test_delivery_at_frame_end(self):
+        queue, medium, deliveries = make_medium([[0, 0], [50, 0]])
+        medium.transmit(0, 16.02, 1.0)
+        queue.run_all()
+        assert deliveries[0][3] == pytest.approx(1.002)  # airtime 2 ms
+
+    def test_rx_power_matches_model(self):
+        queue, medium, deliveries = make_medium([[0, 0], [100, 0]])
+        medium.transmit(0, 16.02, 0.0)
+        queue.run_all()
+        rx = deliveries[0][2]
+        assert rx == pytest.approx(16.02 - 46.6777 - 30 * np.log10(100))
+
+    def test_power_clipped_to_radio_limits(self):
+        queue, medium, _ = make_medium([[0, 0], [50, 0]])
+        frame = medium.transmit(0, 99.0, 0.0)
+        assert frame.tx_power_dbm == pytest.approx(16.02)
+        frame = medium.transmit(0, -200.0, 0.0)
+        assert frame.tx_power_dbm == pytest.approx(-40.0)
+
+
+class TestHalfDuplex:
+    def test_concurrent_transmitters_do_not_receive(self):
+        queue, medium, deliveries = make_medium([[0, 0], [50, 0], [100, 0]])
+        medium.transmit(0, 16.02, 0.0)
+        medium.transmit(1, 16.02, 0.0)
+        queue.run_all()
+        receivers = {r for r, _, _, _ in deliveries}
+        assert 0 not in receivers and 1 not in receivers
+
+    def test_sender_never_receives_own_frame(self):
+        queue, medium, deliveries = make_medium([[0, 0], [50, 0]])
+        medium.transmit(0, 16.02, 0.0)
+        queue.run_all()
+        assert all(r != 0 for r, _, _, _ in deliveries)
+
+
+class TestCollisions:
+    def test_equidistant_simultaneous_frames_collide(self):
+        # Receiver halfway between two equal-power transmitters: SINR =
+        # 0 dB < capture threshold -> both frames lost at the receiver.
+        queue, medium, deliveries = make_medium(
+            [[0, 0], [100, 0], [50, 0]]
+        )
+        medium.transmit(0, 16.02, 0.0)
+        medium.transmit(1, 16.02, 0.0)
+        queue.run_all()
+        assert all(r != 2 for r, _, _, _ in deliveries)
+
+    def test_capture_by_much_closer_transmitter(self):
+        # Receiver 10 m from tx A and 140 m from tx B: A's frame captures.
+        queue, medium, deliveries = make_medium(
+            [[0, 0], [150, 0], [10, 0]]
+        )
+        medium.transmit(0, 16.02, 0.0)
+        medium.transmit(1, 16.02, 0.0)
+        queue.run_all()
+        received_from = {s for r, s, _, _ in deliveries if r == 2}
+        assert received_from == {0}
+
+    def test_non_overlapping_frames_both_delivered(self):
+        queue, medium, deliveries = make_medium([[0, 0], [100, 0], [50, 0]])
+        medium.transmit(0, 16.02, 0.0)
+        medium.transmit(1, 16.02, 0.010)  # well after frame 1 ends
+        queue.run_all()
+        received_from = [s for r, s, _, _ in deliveries if r == 2]
+        assert sorted(received_from) == [0, 1]
+
+    def test_interferer_below_detection_still_jams(self):
+        # B is far from the receiver (undetectable alone) but its power
+        # still counts as interference; A remains decodable though, as
+        # SINR stays high.
+        queue, medium, deliveries = make_medium(
+            [[0, 0], [400, 0], [20, 0]]
+        )
+        medium.transmit(0, 16.02, 0.0)
+        medium.transmit(1, 16.02, 0.0)
+        queue.run_all()
+        received_from = {s for r, s, _, _ in deliveries if r == 2}
+        assert 0 in received_from
+
+
+class TestAccounting:
+    def test_history_and_energy(self):
+        queue, medium, _ = make_medium([[0, 0], [50, 0]])
+        medium.transmit(0, 16.02, 0.0)
+        medium.transmit(1, -10.0, 0.01)
+        queue.run_all()
+        assert medium.transmission_count == 2
+        assert medium.energy_dbm_total() == pytest.approx(16.02 - 10.0)
+
+    def test_delivered_to_recorded_on_frame(self):
+        queue, medium, _ = make_medium([[0, 0], [50, 0], [60, 0]])
+        frame = medium.transmit(0, 16.02, 0.0)
+        queue.run_all()
+        assert sorted(frame.delivered_to) == [1, 2]

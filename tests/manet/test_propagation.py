@@ -1,0 +1,88 @@
+"""Log-distance path-loss model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.manet.config import RadioConfig
+from repro.manet.propagation import LogDistancePathLoss
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LogDistancePathLoss()  # ns3 defaults
+
+
+class TestLoss:
+    def test_reference_loss_at_1m(self, model):
+        assert model.loss_db(1.0) == pytest.approx(46.6777)
+
+    def test_exponent_slope(self, model):
+        # 10x distance adds 10*n dB.
+        l10 = float(model.loss_db(10.0))
+        l100 = float(model.loss_db(100.0))
+        assert l100 - l10 == pytest.approx(30.0)
+
+    def test_near_field_clamped(self, model):
+        assert model.loss_db(0.01) == pytest.approx(model.loss_db(1.0))
+
+    @given(st.floats(1.0, 1e4), st.floats(1.0, 1e4))
+    def test_monotone(self, d1, d2):
+        model = LogDistancePathLoss()
+        if d1 < d2:
+            assert model.loss_db(d1) <= model.loss_db(d2)
+
+    def test_vectorised(self, model):
+        d = np.array([1.0, 10.0, 100.0])
+        out = model.loss_db(d)
+        assert out.shape == (3,)
+
+
+class TestRxPower:
+    def test_rx_equals_tx_minus_loss(self, model):
+        assert model.rx_power_dbm(16.02, 50.0) == pytest.approx(
+            16.02 - float(model.loss_db(50.0))
+        )
+
+    def test_default_range_matches_paper_setup(self):
+        radio = RadioConfig()
+        # 16.02 dBm TX, -96 dBm detection, ns3 log-distance defaults:
+        # budget 65.34 dB over 46.68 + 30 log10(d) -> d ~= 150.7 m.
+        assert radio.max_range_m == pytest.approx(150.7, rel=0.01)
+
+    def test_border_threshold_range_span(self, model):
+        # The Table III border domain [-95, -70] dBm must correspond to a
+        # usable band of distances (the knob must not saturate).
+        d_95 = model.range_for_budget(16.02 - (-95.0))
+        d_70 = model.range_for_budget(16.02 - (-70.0))
+        assert 100.0 < d_95 < 150.0
+        assert 15.0 < d_70 < 30.0
+
+
+class TestInverses:
+    @given(st.floats(50.0, 200.0))
+    def test_range_for_budget_inverts_loss(self, budget):
+        model = LogDistancePathLoss()
+        d = model.range_for_budget(budget)
+        assert float(model.loss_db(d)) == pytest.approx(budget, rel=1e-9)
+
+    def test_budget_below_reference_loss(self, model):
+        assert model.range_for_budget(1.0) == model.reference_distance_m
+
+    @given(st.floats(2.0, 500.0), st.floats(-96.0, -60.0))
+    def test_tx_power_for_delivers(self, distance, required):
+        model = LogDistancePathLoss()
+        tx = model.tx_power_for(distance, required)
+        assert float(model.rx_power_dbm(tx, distance)) == pytest.approx(
+            required, abs=1e-9
+        )
+
+    def test_from_config(self):
+        radio = RadioConfig(path_loss_exponent=2.5, reference_loss_db=40.0)
+        model = LogDistancePathLoss.from_config(radio)
+        assert model.exponent == 2.5
+        assert model.reference_loss_db == 40.0
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(exponent=0.0)

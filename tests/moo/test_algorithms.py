@@ -1,0 +1,167 @@
+"""Algorithm behaviour: convergence, constraints, determinism, selection."""
+
+import numpy as np
+import pytest
+
+from repro.moo import (
+    CellDE,
+    NSGAII,
+    RandomSearch,
+    hypervolume,
+    inverted_generational_distance,
+    merge_fronts,
+    non_dominated,
+    reference_front_aga,
+)
+from repro.moo.problems import ConstrEx, Schaffer, ZDT1
+from repro.moo.selection import (
+    binary_tournament,
+    crowded_binary_tournament,
+    random_selection,
+)
+from repro.moo.solution import FloatSolution
+
+
+def sol(objectives):
+    s = FloatSolution(np.zeros(2), len(objectives))
+    s.objectives = np.asarray(objectives, dtype=float)
+    return s
+
+
+class TestSelection:
+    def test_binary_tournament_prefers_dominating(self):
+        pop = [sol([0, 0]), sol([5, 5])]
+        for seed in range(10):
+            winner = binary_tournament(pop, seed)
+            assert tuple(winner.objectives) == (0.0, 0.0)
+
+    def test_crowded_tournament_uses_rank(self):
+        a, b = sol([1, 1]), sol([1, 1])
+        a.attributes.update(rank=0, crowding_distance=0.1)
+        b.attributes.update(rank=1, crowding_distance=9.0)
+        for seed in range(10):
+            assert crowded_binary_tournament([a, b], seed) is a
+
+    def test_random_selection(self):
+        pop = [sol([i, i]) for i in range(5)]
+        picks = random_selection(pop, 0, k=3)
+        assert len(picks) == 3 and len({id(p) for p in picks}) == 3
+        with pytest.raises(ValueError):
+            random_selection(pop, 0, k=9)
+
+    def test_empty_population_raises(self):
+        with pytest.raises(ValueError):
+            binary_tournament([], 0)
+
+
+class TestNSGAII:
+    def test_converges_on_schaffer(self):
+        problem = Schaffer()
+        result = NSGAII(problem, max_evaluations=2000, population_size=40, rng=1).run()
+        pf = problem.pareto_front(100)
+        igd = inverted_generational_distance(result.objectives_matrix(), pf)
+        assert igd < 0.5  # Schaffer objective scale is ~0-4
+
+    def test_beats_random_search_on_zdt1(self):
+        problem_a, problem_b = ZDT1(10), ZDT1(10)
+        nsga = NSGAII(problem_a, max_evaluations=3000, population_size=40, rng=2).run()
+        rand = RandomSearch(problem_b, max_evaluations=3000, rng=2).run()
+        ref = np.array([1.1, 1.1])
+        hv_nsga = hypervolume(nsga.objectives_matrix(), ref)
+        hv_rand = hypervolume(rand.objectives_matrix(), ref)
+        assert hv_nsga > hv_rand
+
+    def test_constraint_problem_yields_feasible_front(self):
+        result = NSGAII(
+            ConstrEx(), max_evaluations=1500, population_size=40, rng=3
+        ).run()
+        assert result.front
+        assert all(s.is_feasible for s in result.front)
+
+    def test_deterministic_given_seed(self):
+        a = NSGAII(ZDT1(6), max_evaluations=400, population_size=20, rng=7).run()
+        b = NSGAII(ZDT1(6), max_evaluations=400, population_size=20, rng=7).run()
+        np.testing.assert_array_equal(
+            a.objectives_matrix(), b.objectives_matrix()
+        )
+
+    def test_budget_respected(self):
+        result = NSGAII(
+            ZDT1(6), max_evaluations=333, population_size=20, rng=1
+        ).run()
+        assert result.evaluations == 333
+
+    def test_front_is_nondominated(self):
+        result = NSGAII(
+            ZDT1(6), max_evaluations=600, population_size=20, rng=1
+        ).run()
+        assert len(non_dominated(result.front)) == len(result.front)
+
+    def test_rejects_odd_population(self):
+        with pytest.raises(ValueError):
+            NSGAII(ZDT1(6), max_evaluations=100, population_size=21)
+
+
+class TestCellDE:
+    def test_converges_on_zdt1(self):
+        problem = ZDT1(10)
+        result = CellDE(problem, max_evaluations=4000, grid_side=6, rng=1).run()
+        igd = inverted_generational_distance(
+            result.objectives_matrix(), problem.pareto_front(100)
+        )
+        assert igd < 0.05
+
+    def test_archive_bounded(self):
+        result = CellDE(
+            ZDT1(8), max_evaluations=2000, grid_side=5, archive_capacity=30, rng=2
+        ).run()
+        assert len(result.front) <= 30
+
+    def test_deterministic_given_seed(self):
+        a = CellDE(ZDT1(6), max_evaluations=500, grid_side=4, rng=9).run()
+        b = CellDE(ZDT1(6), max_evaluations=500, grid_side=4, rng=9).run()
+        np.testing.assert_array_equal(
+            a.objectives_matrix(), b.objectives_matrix()
+        )
+
+    def test_neighborhood_structure(self):
+        alg = CellDE(ZDT1(6), max_evaluations=100, grid_side=4, rng=0)
+        hood = alg._neighbor_idx[0]
+        assert len(hood) == 8  # C9 minus self
+        assert 0 not in hood
+        # Torus wrap: cell 0's neighbours include the far corner.
+        assert 15 in hood
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            CellDE(ZDT1(6), max_evaluations=100, grid_side=1)
+
+
+class TestRandomSearch:
+    def test_front_nondominated_and_bounded(self):
+        result = RandomSearch(
+            ZDT1(6), max_evaluations=500, archive_capacity=25, rng=0
+        ).run()
+        assert 0 < len(result.front) <= 25
+        assert result.evaluations == 500
+
+
+class TestReferenceFronts:
+    def test_merge_fronts_filters(self):
+        f1 = [sol([1, 3]), sol([3, 1])]
+        f2 = [sol([2, 2]), sol([4, 4])]
+        merged = merge_fronts([f1, f2])
+        assert {tuple(s.objectives) for s in merged} == {
+            (1.0, 3.0),
+            (3.0, 1.0),
+            (2.0, 2.0),
+        }
+
+    def test_reference_front_aga_bounded(self):
+        fronts = [[sol([float(i), float(40 - i)])] for i in range(41)]
+        ref = reference_front_aga(fronts, capacity=10, n_objectives=2, rng=0)
+        assert len(ref) <= 10
+
+    def test_reference_front_empty_raises(self):
+        with pytest.raises(ValueError):
+            reference_front_aga([[], []])

@@ -1,0 +1,224 @@
+"""Epsilon-dominance archive: box logic, invariants, property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moo import EpsilonArchive
+from repro.moo.dominance import pareto_dominates
+from repro.moo.solution import FloatSolution
+
+
+def sol(objectives, violation=0.0):
+    s = FloatSolution(np.zeros(2), len(objectives))
+    s.objectives = np.asarray(objectives, dtype=float)
+    s.constraint_violation = float(violation)
+    return s
+
+
+class TestBoxLogic:
+    def test_box_of(self):
+        archive = EpsilonArchive(epsilon=0.5, n_objectives=2)
+        assert archive.box_of(np.array([0.0, 0.0])) == (0, 0)
+        assert archive.box_of(np.array([0.49, 0.51])) == (0, 1)
+        assert archive.box_of(np.array([-0.1, 1.0])) == (-1, 2)
+
+    def test_per_objective_epsilon(self):
+        archive = EpsilonArchive(epsilon=[1.0, 10.0], n_objectives=2)
+        assert archive.box_of(np.array([1.5, 15.0])) == (1, 1)
+
+    def test_one_member_per_box(self):
+        archive = EpsilonArchive(epsilon=1.0, n_objectives=2)
+        # Mutually non-dominated within one box: both would survive plain
+        # Pareto archiving; epsilon keeps only one.
+        assert archive.add(sol([2.2, 2.8]))
+        assert not archive.add(sol([2.9, 2.3]))  # further from corner
+        assert len(archive) == 1
+
+    def test_same_box_closer_to_corner_wins(self):
+        archive = EpsilonArchive(epsilon=1.0, n_objectives=2)
+        archive.add(sol([2.9, 2.9]))
+        assert archive.add(sol([2.1, 2.1]))  # closer to (2, 2)
+        assert len(archive) == 1
+        np.testing.assert_array_equal(
+            archive.members[0].objectives, [2.1, 2.1]
+        )
+
+    def test_dominated_box_rejected(self):
+        archive = EpsilonArchive(epsilon=1.0, n_objectives=2)
+        archive.add(sol([0.5, 0.5]))  # box (0, 0)
+        assert not archive.add(sol([1.5, 1.5]))  # box (1, 1): dominated
+        assert len(archive) == 1
+
+    def test_dominating_box_evicts(self):
+        archive = EpsilonArchive(epsilon=1.0, n_objectives=2)
+        archive.add(sol([2.5, 2.5]))
+        archive.add(sol([0.5, 4.5]))
+        assert archive.add(sol([0.2, 0.2]))  # box (0,0) dominates both
+        assert len(archive) == 1
+
+    def test_nondominated_boxes_coexist(self):
+        archive = EpsilonArchive(epsilon=1.0, n_objectives=2)
+        archive.add(sol([0.5, 4.5]))
+        archive.add(sol([4.5, 0.5]))
+        archive.add(sol([2.5, 2.5]))
+        assert len(archive) == 3
+
+
+class TestConstraints:
+    def test_feasible_rejects_infeasible(self):
+        archive = EpsilonArchive(epsilon=1.0, n_objectives=2)
+        archive.add(sol([5.0, 5.0]))
+        assert not archive.add(sol([0.0, 0.0], violation=1.0))
+
+    def test_infeasible_placeholder_until_feasible(self):
+        archive = EpsilonArchive(epsilon=1.0, n_objectives=2)
+        assert archive.add(sol([1.0, 1.0], violation=2.0))
+        assert archive.add(sol([1.0, 1.0], violation=0.5))  # less violating
+        assert not archive.add(sol([0.0, 0.0], violation=3.0))
+        assert len(archive) == 1
+        assert archive.members[0].constraint_violation == 0.5
+        # A feasible arrival displaces the placeholder entirely.
+        assert archive.add(sol([9.0, 9.0]))
+        assert len(archive) == 1
+        assert archive.members[0].constraint_violation == 0.0
+
+
+class TestValidation:
+    def test_epsilon_positive(self):
+        with pytest.raises(ValueError):
+            EpsilonArchive(epsilon=0.0, n_objectives=2)
+        with pytest.raises(ValueError):
+            EpsilonArchive(epsilon=[1.0, -1.0], n_objectives=2)
+
+    def test_epsilon_length(self):
+        with pytest.raises(ValueError):
+            EpsilonArchive(epsilon=[1.0], n_objectives=2)
+
+    def test_unevaluated_rejected(self):
+        archive = EpsilonArchive(epsilon=1.0, n_objectives=2)
+        with pytest.raises(ValueError):
+            archive.add(FloatSolution(np.zeros(2), 2))
+
+    def test_wrong_objective_count(self):
+        archive = EpsilonArchive(epsilon=1.0, n_objectives=3)
+        with pytest.raises(ValueError):
+            archive.add(sol([1.0, 2.0]))
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_members_mutually_eps_nondominated(self, points):
+        archive = EpsilonArchive(epsilon=1.0, n_objectives=2)
+        for p in points:
+            archive.add(sol(list(p)))
+        boxes = [archive.box_of(m.objectives) for m in archive.members]
+        # Pairwise: no box dominates another, and all boxes distinct.
+        assert len(set(boxes)) == len(boxes)
+        for i, a in enumerate(boxes):
+            for j, b in enumerate(boxes):
+                if i != j:
+                    assert not EpsilonArchive._box_dominates(a, b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_size_bounded_by_box_diagonal(self, points):
+        # With epsilon = 1 on [0, 10]^2 a non-dominated box set has at
+        # most 11 members (one per anti-diagonal step).
+        archive = EpsilonArchive(epsilon=1.0, n_objectives=2)
+        for p in points:
+            archive.add(sol(list(p)))
+        assert len(archive) <= 11
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    def test_every_point_eps_covered(self, points):
+        # Convergence guarantee: every offered point is epsilon-dominated
+        # by (or shares a box floor with) some member.
+        eps = 1.0
+        archive = EpsilonArchive(epsilon=eps, n_objectives=2)
+        for p in points:
+            archive.add(sol(list(p)))
+        members = archive.objectives_matrix()
+        for p in points:
+            target = np.asarray(p)
+            covered = False
+            for m in members:
+                # m epsilon-dominates target iff box(m) <= box(target)+1
+                # componentwise at box level; equivalently m - eps <= target
+                # in every objective after box flooring.
+                if np.all(
+                    np.floor(m / eps) <= np.floor(target / eps)
+                ):
+                    covered = True
+                    break
+            assert covered
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_matches_pareto_on_coarse_data(self, seed):
+        # With epsilon much smaller than point spacing, the epsilon
+        # archive equals the plain Pareto archive.
+        rng = np.random.default_rng(seed)
+        pts = rng.integers(0, 8, size=(30, 2)).astype(float)
+        archive = EpsilonArchive(epsilon=1e-6, n_objectives=2)
+        for p in pts:
+            archive.add(sol(list(p)))
+        kept = {tuple(m.objectives) for m in archive.members}
+        # Brute-force Pareto filter (unique points).
+        uniq = {tuple(p) for p in pts}
+        expected = {
+            p
+            for p in uniq
+            if not any(
+                q != p and all(a <= b for a, b in zip(q, p)) and any(
+                    a < b for a, b in zip(q, p)
+                )
+                for q in uniq
+            )
+        }
+        assert kept == expected
+
+    def test_dominance_consistency_with_solutions(self):
+        # A member never Pareto-dominates another member "by a full box".
+        archive = EpsilonArchive(epsilon=0.5, n_objectives=2)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            archive.add(sol(rng.uniform(0, 5, size=2)))
+        for a in archive.members:
+            for b in archive.members:
+                if a is b:
+                    continue
+                if pareto_dominates(a.objectives, b.objectives):
+                    # Allowed only within-epsilon (same or adjacent boxes).
+                    diff = np.abs(a.objectives - b.objectives)
+                    assert np.all(diff <= 2 * archive.epsilon)

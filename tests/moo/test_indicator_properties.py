@@ -1,0 +1,162 @@
+"""Cross-cutting indicator and rank invariants (property-based)."""
+
+import numpy as np
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moo.indicators import (
+    hypervolume,
+    inverted_generational_distance,
+)
+from repro.stats import holm_bonferroni, rank_sum_test, vargha_delaney_a12
+from repro.stats.ranks import midranks
+
+front_2d = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestHypervolumeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(points=front_2d, extra=st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ))
+    def test_adding_a_point_never_decreases_hv(self, points, extra):
+        ref = np.array([1.1, 1.1])
+        base = np.asarray(points)
+        grown = np.vstack([base, np.asarray(extra)])
+        assert hypervolume(grown, ref) >= hypervolume(base, ref) - 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(points=front_2d)
+    def test_hv_bounded_by_reference_box(self, points):
+        ref = np.array([1.1, 1.1])
+        hv = hypervolume(np.asarray(points), ref)
+        assert 0.0 <= hv <= 1.1 * 1.1 + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=front_2d, shift=st.floats(min_value=0.01, max_value=0.5))
+    def test_uniform_improvement_increases_hv(self, points, shift):
+        # Moving every point toward the ideal grows the dominated volume
+        # (strictly, when any point is inside the reference box).
+        ref = np.array([1.1, 1.1])
+        base = np.asarray(points)
+        better = np.clip(base - shift, 0.0, None)
+        assert hypervolume(better, ref) >= hypervolume(base, ref) - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=front_2d)
+    def test_permutation_invariance(self, points):
+        # Equal up to float summation order.
+        ref = np.array([1.1, 1.1])
+        base = np.asarray(points)
+        perm = base[::-1]
+        np.testing.assert_allclose(
+            hypervolume(base, ref), hypervolume(perm, ref), rtol=1e-12
+        )
+
+
+class TestIGDProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(points=front_2d)
+    def test_igd_of_front_against_itself_is_zero(self, points):
+        front = np.asarray(points)
+        assert inverted_generational_distance(front, front) <= 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(points=front_2d, ref=st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ))
+    def test_singleton_reference_is_nearest_distance(self, points, ref):
+        # With one reference point, Eq. 3 collapses to the distance from
+        # that point to its nearest approximation point.
+        front = np.asarray(points)
+        r = np.asarray([ref])
+        expected = float(np.min(np.linalg.norm(front - r, axis=1)))
+        igd = inverted_generational_distance(front, r)
+        np.testing.assert_allclose(igd, expected, atol=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=front_2d)
+    def test_superset_never_worse(self, points):
+        # Adding points to the approximation can only reduce distances.
+        reference = np.array([[0.0, 1.0], [0.5, 0.5], [1.0, 0.0]])
+        front = np.asarray(points)
+        superset = np.vstack([front, reference[:1]])
+        assert (
+            inverted_generational_distance(superset, reference)
+            <= inverted_generational_distance(front, reference) + 1e-12
+        )
+
+
+class TestRankProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=-5, max_value=5), min_size=1, max_size=30
+        )
+    )
+    def test_midranks_match_scipy_rankdata(self, values):
+        arr = np.asarray(values, dtype=float)
+        np.testing.assert_allclose(
+            midranks(arr), scipy.stats.rankdata(arr, method="average")
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-10, max_value=10), min_size=2, max_size=30
+        )
+    )
+    def test_rank_sum_is_conserved(self, values):
+        arr = np.asarray(values)
+        total = midranks(arr).sum()
+        n = arr.size
+        assert total == n * (n + 1) / 2.0
+
+
+class TestStatsConsistency:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        a=st.lists(st.integers(0, 20), min_size=3, max_size=25),
+        b=st.lists(st.integers(0, 20), min_size=3, max_size=25),
+    )
+    def test_a12_and_rank_sum_agree_on_direction(self, a, b):
+        res = rank_sum_test(a, b)
+        eff = vargha_delaney_a12(a, b)
+        if eff.value > 0.5:
+            assert res.a_tends_larger
+        elif eff.value < 0.5:
+            assert not res.a_tends_larger
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ps=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=12
+        )
+    )
+    def test_holm_between_raw_and_bonferroni(self, ps):
+        adj = holm_bonferroni(ps)
+        m = len(ps)
+        for raw, a in zip(ps, adj):
+            assert a >= raw - 1e-12
+            assert a <= min(m * raw, 1.0) + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ps=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=12
+        )
+    )
+    def test_holm_order_preserving(self, ps):
+        adj = holm_bonferroni(ps)
+        order = np.argsort(ps, kind="stable")
+        assert np.all(np.diff(adj[order]) >= -1e-12)

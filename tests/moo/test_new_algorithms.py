@@ -1,0 +1,199 @@
+"""PAES, SPEA2, MOCell: convergence, invariants, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.moo import (
+    MOCell,
+    PAES,
+    RandomSearch,
+    SPEA2,
+    hypervolume,
+    inverted_generational_distance,
+    non_dominated,
+)
+from repro.moo.problems import ConstrEx, Schaffer, ZDT1
+from repro.moo.solution import FloatSolution
+
+
+def sol(objectives):
+    s = FloatSolution(np.zeros(2), len(objectives))
+    s.objectives = np.asarray(objectives, dtype=float)
+    return s
+
+
+class TestPAES:
+    def test_converges_on_schaffer(self):
+        problem = Schaffer()
+        result = PAES(problem, max_evaluations=3000, rng=1).run()
+        igd = inverted_generational_distance(
+            result.objectives_matrix(), problem.pareto_front(100)
+        )
+        assert igd < 0.5
+
+    def test_archive_bounded(self):
+        result = PAES(
+            ZDT1(8), max_evaluations=2000, archive_capacity=25, rng=2
+        ).run()
+        assert 0 < len(result.front) <= 25
+
+    def test_front_is_nondominated(self):
+        result = PAES(ZDT1(6), max_evaluations=800, rng=3).run()
+        assert len(non_dominated(result.front)) == len(result.front)
+
+    def test_deterministic_given_seed(self):
+        a = PAES(ZDT1(6), max_evaluations=400, rng=7).run()
+        b = PAES(ZDT1(6), max_evaluations=400, rng=7).run()
+        np.testing.assert_array_equal(a.objectives_matrix(), b.objectives_matrix())
+
+    def test_budget_respected(self):
+        result = PAES(ZDT1(6), max_evaluations=123, rng=1).run()
+        assert result.evaluations == 123
+
+    def test_beats_random_search_on_zdt1(self):
+        paes = PAES(ZDT1(10), max_evaluations=3000, rng=4).run()
+        rand = RandomSearch(ZDT1(10), max_evaluations=3000, rng=4).run()
+        ref = np.array([1.1, 1.1])
+        assert hypervolume(paes.objectives_matrix(), ref) > hypervolume(
+            rand.objectives_matrix(), ref
+        )
+
+    def test_constraints_respected(self):
+        result = PAES(ConstrEx(), max_evaluations=1500, rng=5).run()
+        assert result.front
+        assert all(s.is_feasible for s in result.front)
+
+    def test_run_info(self):
+        result = PAES(ZDT1(6), max_evaluations=200, rng=1).run()
+        assert result.info["iterations"] == 199  # one evaluation initialises
+        assert result.info["archive_size"] == len(result.front)
+
+
+class TestSPEA2:
+    def test_converges_on_zdt1(self):
+        problem = ZDT1(10)
+        result = SPEA2(
+            problem, max_evaluations=4000, population_size=40, rng=1
+        ).run()
+        igd = inverted_generational_distance(
+            result.objectives_matrix(), problem.pareto_front(100)
+        )
+        assert igd < 0.05
+
+    def test_archive_bounded(self):
+        result = SPEA2(
+            ZDT1(8),
+            max_evaluations=1500,
+            population_size=20,
+            archive_size=15,
+            rng=2,
+        ).run()
+        assert 0 < len(result.front) <= 15
+
+    def test_front_is_nondominated(self):
+        result = SPEA2(
+            ZDT1(6), max_evaluations=600, population_size=20, rng=3
+        ).run()
+        assert len(non_dominated(result.front)) == len(result.front)
+
+    def test_deterministic_given_seed(self):
+        a = SPEA2(ZDT1(6), max_evaluations=400, population_size=20, rng=7).run()
+        b = SPEA2(ZDT1(6), max_evaluations=400, population_size=20, rng=7).run()
+        np.testing.assert_array_equal(a.objectives_matrix(), b.objectives_matrix())
+
+    def test_constraint_problem_yields_feasible_front(self):
+        result = SPEA2(
+            ConstrEx(), max_evaluations=1500, population_size=40, rng=4
+        ).run()
+        assert result.front
+        assert all(s.is_feasible for s in result.front)
+
+    def test_fitness_nondominated_below_one(self):
+        # F < 1 iff non-dominated: raw fitness 0 and density < 1.
+        alg = SPEA2(ZDT1(6), max_evaluations=100, population_size=20, rng=0)
+        union = [sol([0.0, 1.0]), sol([1.0, 0.0]), sol([2.0, 2.0])]
+        fitness = alg._assign_fitness(union)
+        assert fitness[0] < 1.0 and fitness[1] < 1.0
+        assert fitness[2] >= 1.0  # dominated by both
+
+    def test_truncation_keeps_extremes(self):
+        alg = SPEA2(
+            ZDT1(6),
+            max_evaluations=100,
+            population_size=20,
+            archive_size=4,
+            rng=0,
+        )
+        # 8 mutually non-dominated points on a line; truncation to 4 must
+        # keep both endpoints (their nearest-neighbour vectors are larger).
+        union = [sol([float(i), 7.0 - i]) for i in range(8)]
+        fitness = alg._assign_fitness(union)
+        kept = alg._environmental_selection(union, fitness)
+        objs = {tuple(s.objectives) for s in kept}
+        assert len(kept) == 4
+        assert (0.0, 7.0) in objs and (7.0, 0.0) in objs
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            SPEA2(ZDT1(6), max_evaluations=100, population_size=21)
+        with pytest.raises(ValueError):
+            SPEA2(ZDT1(6), max_evaluations=100, population_size=20, archive_size=1)
+
+
+class TestMOCell:
+    def test_converges_on_zdt1(self):
+        problem = ZDT1(10)
+        result = MOCell(problem, max_evaluations=4000, grid_side=6, rng=1).run()
+        igd = inverted_generational_distance(
+            result.objectives_matrix(), problem.pareto_front(100)
+        )
+        assert igd < 0.05
+
+    def test_archive_bounded(self):
+        result = MOCell(
+            ZDT1(8), max_evaluations=2000, grid_side=5, archive_capacity=30, rng=2
+        ).run()
+        assert 0 < len(result.front) <= 30
+
+    def test_deterministic_given_seed(self):
+        a = MOCell(ZDT1(6), max_evaluations=500, grid_side=4, rng=9).run()
+        b = MOCell(ZDT1(6), max_evaluations=500, grid_side=4, rng=9).run()
+        np.testing.assert_array_equal(a.objectives_matrix(), b.objectives_matrix())
+
+    def test_neighborhood_is_c9_torus(self):
+        alg = MOCell(ZDT1(6), max_evaluations=100, grid_side=4, rng=0)
+        hood = alg._neighbor_idx[0]
+        assert len(hood) == 8
+        assert 0 not in hood
+        assert 15 in hood  # wraps to the far corner
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            MOCell(ZDT1(6), max_evaluations=100, grid_side=1)
+
+    def test_budget_respected(self):
+        result = MOCell(ZDT1(6), max_evaluations=250, grid_side=4, rng=1).run()
+        assert result.evaluations == 250
+
+
+class TestCrossAlgorithm:
+    def test_all_five_produce_comparable_fronts_on_schaffer(self):
+        """Every optimiser lands near the Schaffer front (smoke parity)."""
+        from repro.moo import CellDE, NSGAII
+
+        problem_ctor = Schaffer
+        budget = 1500
+        igds = {}
+        for cls, kwargs in [
+            (NSGAII, {"population_size": 20}),
+            (CellDE, {"grid_side": 4}),
+            (MOCell, {"grid_side": 4}),
+            (SPEA2, {"population_size": 20}),
+            (PAES, {}),
+        ]:
+            problem = problem_ctor()
+            result = cls(problem, max_evaluations=budget, rng=11, **kwargs).run()
+            igds[cls.name] = inverted_generational_distance(
+                result.objectives_matrix(), problem.pareto_front(100)
+            )
+        assert all(v < 1.0 for v in igds.values()), igds

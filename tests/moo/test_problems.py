@@ -1,0 +1,163 @@
+"""Validation problems: correctness of formulas, fronts, constraints."""
+
+import numpy as np
+import pytest
+
+from repro.moo.dominance import non_dominated_objectives_mask
+from repro.moo.problems import (
+    DTLZ1,
+    DTLZ2,
+    BinhKorn,
+    ConstrEx,
+    Fonseca,
+    Kursawe,
+    Schaffer,
+    Srinivas,
+    Tanaka,
+    Viennet2,
+    ZDT1,
+    ZDT2,
+    ZDT3,
+    ZDT4,
+    ZDT6,
+)
+
+ALL_PROBLEMS = [
+    ZDT1(),
+    ZDT2(),
+    ZDT3(),
+    ZDT4(),
+    ZDT6(),
+    DTLZ1(),
+    DTLZ2(),
+    Schaffer(),
+    Fonseca(),
+    Kursawe(),
+    Srinivas(),
+    Tanaka(),
+    ConstrEx(),
+    BinhKorn(),
+    Viennet2(),
+]
+
+
+@pytest.mark.parametrize("problem", ALL_PROBLEMS, ids=lambda p: p.name)
+class TestCommonContract:
+    def test_random_solution_evaluates(self, problem, rng):
+        s = problem.create_solution(rng)
+        problem.evaluate(s)
+        assert s.is_evaluated
+        assert np.all(np.isfinite(s.objectives))
+        assert s.constraint_violation >= 0.0
+
+    def test_bounds_well_formed(self, problem):
+        assert problem.lower_bounds.shape == problem.upper_bounds.shape
+        assert np.all(problem.upper_bounds >= problem.lower_bounds)
+
+    def test_evaluation_counter(self, problem, rng):
+        before = problem.evaluations
+        problem.evaluate(problem.create_solution(rng))
+        assert problem.evaluations == before + 1
+
+
+FRONT_PROBLEMS = [
+    ZDT1(),
+    ZDT2(),
+    ZDT3(),
+    ZDT4(),
+    ZDT6(),
+    DTLZ1(),
+    DTLZ2(),
+    Schaffer(),
+    Fonseca(),
+]
+
+
+@pytest.mark.parametrize("problem", FRONT_PROBLEMS, ids=lambda p: p.name)
+class TestKnownFronts:
+    def test_front_is_nondominated(self, problem):
+        pf = problem.pareto_front(60)
+        # Round to suppress float dust in the disconnected-segment cases.
+        mask = non_dominated_objectives_mask(np.round(pf, 12))
+        assert mask.all()
+
+    def test_front_shape(self, problem):
+        pf = problem.pareto_front(50)
+        assert pf.ndim == 2 and pf.shape[1] == problem.n_objectives
+
+
+class TestZDTSpecifics:
+    def test_zdt1_optimum_structure(self):
+        # x1 free, rest zero -> on the front.
+        p = ZDT1(n_variables=6)
+        s = p.create_solution(0)
+        s.variables[:] = 0.0
+        s.variables[0] = 0.25
+        p.evaluate(s)
+        assert s.objectives[1] == pytest.approx(1 - np.sqrt(0.25))
+
+    def test_zdt2_concave(self):
+        p = ZDT2(n_variables=6)
+        s = p.create_solution(0)
+        s.variables[:] = 0.0
+        s.variables[0] = 0.5
+        p.evaluate(s)
+        assert s.objectives[1] == pytest.approx(1 - 0.25)
+
+    def test_zdt4_bounds(self):
+        p = ZDT4()
+        assert p.lower_bounds[0] == 0.0 and p.lower_bounds[1] == -5.0
+
+
+class TestDTLZSpecifics:
+    def test_dtlz2_on_sphere(self):
+        p = DTLZ2()
+        s = p.create_solution(0)
+        s.variables[:] = 0.5  # distance variables at optimum
+        p.evaluate(s)
+        assert np.linalg.norm(s.objectives) == pytest.approx(1.0)
+
+    def test_dtlz1_on_simplex(self):
+        p = DTLZ1()
+        s = p.create_solution(0)
+        s.variables[:] = 0.5
+        p.evaluate(s)
+        assert float(np.sum(s.objectives)) == pytest.approx(0.5)
+
+
+class TestConstrainedSpecifics:
+    def test_srinivas_known_feasible(self):
+        p = Srinivas()
+        s = p.create_solution(0)
+        s.variables = np.array([0.0, 5.0])  # x - 3y + 10 = -5 <= 0
+        p.evaluate(s)
+        assert s.is_feasible
+
+    def test_srinivas_known_infeasible(self):
+        p = Srinivas()
+        s = p.create_solution(0)
+        s.variables = np.array([20.0, -20.0])  # both constraints broken
+        p.evaluate(s)
+        assert not s.is_feasible
+
+    def test_tanaka_constraint_carves_front(self):
+        p = Tanaka()
+        s = p.create_solution(0)
+        s.variables = np.array([0.1, 0.1])  # inside the forbidden disc
+        p.evaluate(s)
+        assert not s.is_feasible
+
+    def test_binh_korn_feasible_origin_region(self):
+        p = BinhKorn()
+        s = p.create_solution(0)
+        s.variables = np.array([1.0, 1.0])
+        p.evaluate(s)
+        assert s.is_feasible
+        assert s.objectives[0] == pytest.approx(8.0)
+
+    def test_constr_ex_violation_positive_when_broken(self):
+        p = ConstrEx()
+        s = p.create_solution(0)
+        s.variables = np.array([0.1, 0.0])  # 9x + y = 0.9 < 6 -> violated
+        p.evaluate(s)
+        assert s.constraint_violation > 0

@@ -1,0 +1,96 @@
+"""FloatSolution and Problem base behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.moo.problem import Problem
+from repro.moo.solution import FloatSolution
+
+
+class Sphere2(Problem):
+    """min (sum x^2, sum (x-1)^2) — a trivial two-objective test stub."""
+
+    def __init__(self):
+        super().__init__([-2.0, -2.0], [2.0, 2.0], n_objectives=2)
+
+    def _evaluate(self, solution):
+        x = solution.variables
+        solution.objectives[0] = float(np.sum(x**2))
+        solution.objectives[1] = float(np.sum((x - 1.0) ** 2))
+
+
+class TestFloatSolution:
+    def test_construction(self):
+        s = FloatSolution(np.array([1.0, 2.0]), 3)
+        assert s.n_variables == 2 and s.n_objectives == 3
+        assert not s.is_evaluated
+        assert s.is_feasible
+
+    def test_variables_copied(self):
+        arr = np.array([1.0, 2.0])
+        s = FloatSolution(arr, 2)
+        arr[0] = 99.0
+        assert s.variables[0] == 1.0
+
+    def test_copy_independent(self):
+        s = FloatSolution(np.array([1.0]), 2)
+        s.objectives[:] = [1.0, 2.0]
+        s.attributes["rank"] = 3
+        c = s.copy()
+        c.variables[0] = 7.0
+        c.objectives[0] = 9.0
+        c.attributes["rank"] = 0
+        assert s.variables[0] == 1.0
+        assert s.objectives[0] == 1.0
+        assert s.attributes["rank"] == 3
+
+    def test_feasibility_flag(self):
+        s = FloatSolution(np.zeros(1), 1)
+        s.constraint_violation = 0.5
+        assert not s.is_feasible
+
+    def test_objective_tuple(self):
+        s = FloatSolution(np.zeros(1), 2)
+        s.objectives[:] = [1.5, 2.5]
+        assert s.objective_tuple() == (1.5, 2.5)
+
+
+class TestProblem:
+    def test_create_solution_in_bounds(self):
+        p = Sphere2()
+        for seed in range(5):
+            s = p.create_solution(seed)
+            assert np.all(s.variables >= p.lower_bounds)
+            assert np.all(s.variables <= p.upper_bounds)
+
+    def test_evaluate_fills_objectives(self):
+        p = Sphere2()
+        s = p.create_solution(0)
+        p.evaluate(s)
+        assert s.is_evaluated
+
+    def test_evaluation_counter_and_batch(self):
+        p = Sphere2()
+        sols = [p.create_solution(i) for i in range(4)]
+        p.evaluate_batch(sols)
+        assert p.evaluations == 4
+
+    def test_clip(self):
+        p = Sphere2()
+        np.testing.assert_allclose(
+            p.clip(np.array([-5.0, 5.0])), [-2.0, 2.0]
+        )
+
+    def test_wrong_size_rejected(self):
+        p = Sphere2()
+        with pytest.raises(ValueError):
+            p.evaluate(FloatSolution(np.zeros(3), 2))
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Problem([0.0, 0.0], [1.0], n_objectives=1)
+        with pytest.raises(ValueError):
+            Problem([2.0], [1.0], n_objectives=1)
+
+    def test_default_labels(self):
+        assert Sphere2().objective_labels == ("f1", "f2")

@@ -1,0 +1,179 @@
+"""Anytime-performance tracking: checkpoints, curves, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moo import NSGAII, RandomSearch, TrackedProblem, hypervolume
+from repro.moo.problems import ConstrEx, Schaffer, ZDT1
+from repro.moo.solution import FloatSolution
+from repro.moo.tracking import Checkpoint, ConvergenceHistory
+
+
+class TestTrackedProblem:
+    def test_forwards_evaluation(self):
+        inner = ZDT1(6)
+        tracked = TrackedProblem(inner, every=10)
+        s = tracked.create_solution(rng=0)
+        tracked.evaluate(s)
+        assert s.is_evaluated
+        assert tracked.evaluations == 1
+        assert inner.evaluations == 1
+
+    def test_checkpoints_at_cadence(self):
+        tracked = TrackedProblem(ZDT1(6), every=25)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            tracked.evaluate(tracked.create_solution(rng))
+        evals = tracked.history.evaluations()
+        np.testing.assert_array_equal(evals, [25, 50, 75, 100])
+
+    def test_finalize_flushes_partial_interval(self):
+        tracked = TrackedProblem(ZDT1(6), every=30)
+        rng = np.random.default_rng(2)
+        for _ in range(40):
+            tracked.evaluate(tracked.create_solution(rng))
+        history = tracked.finalize()
+        assert history.evaluations()[-1] == 40
+        # No duplicate flush when already aligned.
+        assert len(tracked.finalize()) == len(history)
+
+    def test_front_is_nondominated_and_grows_cleanly(self):
+        tracked = TrackedProblem(ZDT1(6), every=20)
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            tracked.evaluate(tracked.create_solution(rng))
+        front = tracked.current_front()
+        assert front.shape[0] >= 1
+        for i in range(front.shape[0]):
+            for j in range(front.shape[0]):
+                if i != j:
+                    assert not (
+                        np.all(front[i] <= front[j])
+                        and np.any(front[i] < front[j])
+                    )
+
+    def test_infeasible_points_excluded(self):
+        tracked = TrackedProblem(ConstrEx(), every=10)
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            tracked.evaluate(tracked.create_solution(rng))
+        # ConstrEx random points are often infeasible; every tracked
+        # point must have come from a feasible evaluation.
+        front = tracked.current_front()
+        assert front.shape[0] >= 0  # may legitimately be empty
+        for c in tracked.history.checkpoints:
+            assert c.size == c.front.shape[0] if c.front.size else c.size == 0
+
+    def test_rejects_bad_cadence(self):
+        with pytest.raises(ValueError):
+            TrackedProblem(ZDT1(6), every=0)
+
+    def test_display_forwarding(self):
+        from repro.tuning import make_tuning_problem
+
+        inner = make_tuning_problem(100, n_networks=1, n_nodes=8)
+        tracked = TrackedProblem(inner, every=5)
+        raw = np.array([[10.0, -5.0, 3.0]])
+        np.testing.assert_array_equal(
+            tracked.display_objectives(raw), inner.display_objectives(raw)
+        )
+
+
+class TestCurves:
+    @pytest.fixture(scope="class")
+    def tracked_run(self):
+        tracked = TrackedProblem(Schaffer(), every=100)
+        NSGAII(tracked, max_evaluations=1000, population_size=20, rng=5).run()
+        tracked.finalize()
+        return tracked
+
+    def test_hv_curve_monotone_nondecreasing(self, tracked_run):
+        # The tracked front only improves, so HV against a fixed point
+        # never decreases.
+        curve = tracked_run.history.hypervolume_curve([5.0, 5.0])
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_igd_curve_monotone_nonincreasing(self, tracked_run):
+        problem = Schaffer()
+        ref = problem.pareto_front(100)
+        curve = tracked_run.history.igd_curve(ref)
+        assert np.all(np.diff(curve) <= 1e-12)
+
+    def test_evaluations_to_reach(self, tracked_run):
+        ref_point = [5.0, 5.0]
+        final_hv = tracked_run.history.hypervolume_curve(ref_point)[-1]
+        budget = tracked_run.history.evaluations_to_reach(
+            ref_point, 0.9 * final_hv
+        )
+        assert budget is not None
+        assert budget <= 1000
+        # An unreachable target returns None.
+        assert (
+            tracked_run.history.evaluations_to_reach(ref_point, final_hv * 10)
+            is None
+        )
+
+    def test_anytime_separates_algorithms(self):
+        # NSGA-II dominates random search at every shared checkpoint
+        # (eventually); at minimum the final HV must be larger.
+        ref_point = [1.1, 1.1]
+        curves = {}
+        for cls, kwargs in ((NSGAII, {"population_size": 20}), (RandomSearch, {})):
+            tracked = TrackedProblem(ZDT1(10), every=200)
+            cls(tracked, max_evaluations=2000, rng=6, **kwargs).run()
+            tracked.finalize()
+            curves[cls.name] = tracked.history.hypervolume_curve(ref_point)
+        assert curves["NSGAII"][-1] > curves["RandomSearch"][-1]
+
+
+class TestHistoryPrimitives:
+    def test_empty_history(self):
+        history = ConvergenceHistory()
+        assert len(history) == 0
+        assert history.evaluations().size == 0
+
+    def test_checkpoint_size(self):
+        empty = Checkpoint(10, np.empty((0, 2)))
+        assert empty.size == 0
+        full = Checkpoint(10, np.array([[1.0, 2.0], [2.0, 1.0]]))
+        assert full.size == 2
+
+    def test_empty_front_scores(self):
+        history = ConvergenceHistory(
+            checkpoints=[Checkpoint(5, np.empty((0, 2)))]
+        )
+        assert history.hypervolume_curve([1.0, 1.0])[0] == 0.0
+        assert np.isinf(history.igd_curve(np.array([[0.0, 0.0]]))[0])
+
+
+class TestOfferLogic:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5.0),
+                st.floats(min_value=0.0, max_value=5.0),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_running_front_equals_brute_force_pareto(self, points):
+        tracked = TrackedProblem(ZDT1(6), every=10**9)
+        for p in points:
+            tracked._offer(np.asarray(p, dtype=float))
+        kept = {tuple(row) for row in tracked.current_front()}
+        uniq = {tuple(p) for p in points}
+        expected = {
+            p
+            for p in uniq
+            if not any(
+                q != p
+                and all(a <= b for a, b in zip(q, p))
+                and any(a < b for a, b in zip(q, p))
+                for q in uniq
+            )
+        }
+        assert kept == expected

@@ -1,0 +1,173 @@
+"""Variation operators: bounds, probabilities, formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.moo.problems import ZDT1
+from repro.moo.solution import FloatSolution
+from repro.moo.variation import (
+    BLXAlphaCrossover,
+    DifferentialEvolutionCrossover,
+    PolynomialMutation,
+    SBXCrossover,
+    UniformMutation,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return ZDT1(n_variables=8)
+
+
+def random_solution(problem, seed):
+    return problem.create_solution(np.random.default_rng(seed))
+
+
+class TestSBX:
+    @given(st.integers(0, 500))
+    @settings(max_examples=30)
+    def test_children_in_bounds(self, seed):
+        problem = ZDT1(n_variables=8)
+        a, b = random_solution(problem, seed), random_solution(problem, seed + 1)
+        ca, cb = SBXCrossover().execute(a, b, problem, np.random.default_rng(seed))
+        for child in (ca, cb):
+            assert np.all(child.variables >= problem.lower_bounds)
+            assert np.all(child.variables <= problem.upper_bounds)
+
+    def test_parents_unchanged(self, problem):
+        a, b = random_solution(problem, 1), random_solution(problem, 2)
+        va, vb = a.variables.copy(), b.variables.copy()
+        SBXCrossover().execute(a, b, problem, 3)
+        np.testing.assert_array_equal(a.variables, va)
+        np.testing.assert_array_equal(b.variables, vb)
+
+    def test_zero_probability_copies_parents(self, problem):
+        a, b = random_solution(problem, 1), random_solution(problem, 2)
+        ca, cb = SBXCrossover(probability=0.0).execute(a, b, problem, 3)
+        np.testing.assert_array_equal(ca.variables, a.variables)
+        np.testing.assert_array_equal(cb.variables, b.variables)
+
+    def test_mean_preserving_before_clip(self, problem):
+        # SBX children are symmetric around the parents' mean.
+        a, b = random_solution(problem, 5), random_solution(problem, 6)
+        sums = []
+        for seed in range(50):
+            ca, cb = SBXCrossover(probability=1.0).execute(
+                a, b, problem, np.random.default_rng(seed)
+            )
+            sums.append(ca.variables + cb.variables)
+        np.testing.assert_allclose(
+            np.mean(sums, axis=0), a.variables + b.variables, atol=0.05
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SBXCrossover(probability=1.5)
+
+
+class TestPolynomialMutation:
+    @given(st.integers(0, 500))
+    @settings(max_examples=30)
+    def test_in_bounds(self, seed):
+        problem = ZDT1(n_variables=8)
+        s = random_solution(problem, seed)
+        out = PolynomialMutation(probability=1.0).execute(
+            s, problem, np.random.default_rng(seed)
+        )
+        assert np.all(out.variables >= problem.lower_bounds)
+        assert np.all(out.variables <= problem.upper_bounds)
+
+    def test_zero_probability_identity(self, problem):
+        s = random_solution(problem, 1)
+        out = PolynomialMutation(probability=0.0).execute(s, problem, 2)
+        np.testing.assert_array_equal(out.variables, s.variables)
+
+    def test_default_rate_is_one_over_n(self, problem):
+        # With pm = 1/n, on average one gene mutates.
+        changed = 0
+        for seed in range(200):
+            s = random_solution(problem, seed)
+            out = PolynomialMutation().execute(
+                s, problem, np.random.default_rng(seed + 1)
+            )
+            changed += int(np.sum(out.variables != s.variables))
+        assert 100 <= changed <= 320  # ~200 expected
+
+    def test_high_eta_small_steps(self, problem):
+        s = random_solution(problem, 3)
+        small = PolynomialMutation(probability=1.0, eta=200.0).execute(
+            s, problem, np.random.default_rng(4)
+        )
+        assert np.max(np.abs(small.variables - s.variables)) < 0.2
+
+
+class TestBLX:
+    @given(st.integers(0, 300))
+    @settings(max_examples=30)
+    def test_in_bounds(self, seed):
+        problem = ZDT1(n_variables=8)
+        a, b = random_solution(problem, seed), random_solution(problem, seed + 7)
+        out = BLXAlphaCrossover(alpha=0.5).execute(
+            a, b, problem, np.random.default_rng(seed)
+        )
+        assert np.all(out.variables >= problem.lower_bounds)
+        assert np.all(out.variables <= problem.upper_bounds)
+
+    def test_child_within_extended_interval(self, problem):
+        a, b = random_solution(problem, 1), random_solution(problem, 2)
+        alpha = 0.3
+        out = BLXAlphaCrossover(alpha=alpha, probability=1.0).execute(
+            a, b, problem, 3
+        )
+        lo = np.minimum(a.variables, b.variables)
+        hi = np.maximum(a.variables, b.variables)
+        width = hi - lo
+        assert np.all(out.variables >= np.maximum(lo - alpha * width, 0.0) - 1e-12)
+        assert np.all(out.variables <= np.minimum(hi + alpha * width, 1.0) + 1e-12)
+
+
+class TestDE:
+    def test_cr_one_gives_pure_mutant(self, problem):
+        cur = random_solution(problem, 1)
+        base = random_solution(problem, 2)
+        a, b = random_solution(problem, 3), random_solution(problem, 4)
+        out = DifferentialEvolutionCrossover(cr=1.0, f=0.5).execute(
+            cur, base, a, b, problem, 5
+        )
+        expected = problem.clip(base.variables + 0.5 * (a.variables - b.variables))
+        np.testing.assert_allclose(out.variables, expected)
+
+    def test_cr_zero_keeps_current_except_one_gene(self, problem):
+        cur = random_solution(problem, 1)
+        base = random_solution(problem, 2)
+        a, b = random_solution(problem, 3), random_solution(problem, 4)
+        out = DifferentialEvolutionCrossover(cr=0.0, f=0.5).execute(
+            cur, base, a, b, problem, 5
+        )
+        differing = np.sum(out.variables != cur.variables)
+        assert differing == 1  # the guaranteed gene
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=30)
+    def test_in_bounds(self, seed):
+        problem = ZDT1(n_variables=8)
+        gen = np.random.default_rng(seed)
+        sols = [problem.create_solution(gen) for _ in range(4)]
+        out = DifferentialEvolutionCrossover().execute(*sols, problem, gen)
+        assert np.all(out.variables >= problem.lower_bounds)
+        assert np.all(out.variables <= problem.upper_bounds)
+
+
+class TestUniformMutation:
+    def test_probability_one_resamples(self, problem):
+        s = random_solution(problem, 1)
+        out = UniformMutation(probability=1.0).execute(s, problem, 2)
+        assert np.all(out.variables >= problem.lower_bounds)
+        assert np.all(out.variables <= problem.upper_bounds)
+        assert not np.array_equal(out.variables, s.variables)
+
+    def test_probability_zero_identity(self, problem):
+        s = random_solution(problem, 1)
+        out = UniformMutation(probability=0.0).execute(s, problem, 2)
+        np.testing.assert_array_equal(out.variables, s.variables)

@@ -1,0 +1,140 @@
+"""FAST99 estimator: analytic validation and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.sensitivity.fast import (
+    Fast99Result,
+    fast99_indices,
+    fast99_sample,
+    run_fast99,
+)
+
+
+class TestSampling:
+    def test_design_shape_and_bounds(self):
+        bounds = [(0.0, 1.0), (-5.0, 5.0), (10.0, 20.0)]
+        design, omega = fast99_sample(bounds, n_samples=129, rng=0)
+        assert design.shape == (3 * 129, 3)
+        for j, (lo, hi) in enumerate(bounds):
+            assert design[:, j].min() >= lo - 1e-9
+            assert design[:, j].max() <= hi + 1e-9
+
+    def test_focal_parameter_sweeps_range(self):
+        bounds = [(0.0, 1.0), (0.0, 1.0)]
+        design, _ = fast99_sample(bounds, n_samples=257, rng=0)
+        block0 = design[:257]
+        # The focal parameter of block 0 explores nearly its whole range.
+        assert block0[:, 0].max() - block0[:, 0].min() > 0.95
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fast99_sample([(0, 1), (0, 1)], n_samples=10)
+
+    def test_rejects_single_parameter(self):
+        with pytest.raises(ValueError):
+            fast99_sample([(0, 1)], n_samples=100)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            fast99_sample([(1.0, 0.0), (0.0, 1.0)], n_samples=100)
+
+
+class TestIshigami:
+    A, B = 7.0, 0.1
+
+    @classmethod
+    def model(cls, x):
+        return (
+            np.sin(x[0])
+            + cls.A * np.sin(x[1]) ** 2
+            + cls.B * x[2] ** 4 * np.sin(x[0])
+        )
+
+    @classmethod
+    def analytic(cls):
+        a, b = cls.A, cls.B
+        v1 = 0.5 * (1 + b * np.pi**4 / 5) ** 2
+        v2 = a**2 / 8
+        v13 = b**2 * np.pi**8 * 8 / 225
+        v = v1 + v2 + v13
+        return (
+            np.array([v1 / v, v2 / v, 0.0]),
+            np.array([(v1 + v13) / v, v2 / v, v13 / v]),
+        )
+
+    def test_first_order_matches(self):
+        res = run_fast99(
+            self.model, [(-np.pi, np.pi)] * 3, n_samples=513, rng=3
+        )
+        s1, _ = self.analytic()
+        np.testing.assert_allclose(res.first_order, s1, atol=0.04)
+
+    def test_total_order_matches(self):
+        res = run_fast99(
+            self.model, [(-np.pi, np.pi)] * 3, n_samples=513, rng=3
+        )
+        _, st = self.analytic()
+        np.testing.assert_allclose(res.total_order, st, atol=0.06)
+
+    def test_interactions_nonneg_and_shared_by_x1_x3(self):
+        # The only interaction term is x1*x3: its variance shows up in
+        # BOTH ST1 and ST3 (analytically equal shares), never in x2.
+        res = run_fast99(
+            self.model, [(-np.pi, np.pi)] * 3, n_samples=513, rng=3
+        )
+        inter = res.interactions
+        assert np.all(inter >= 0)
+        assert inter[0] > 0.15 and inter[2] > 0.15
+        assert inter[1] < 0.08
+
+
+class TestAdditiveModel:
+    def test_no_interactions(self):
+        def model(x):
+            return 2.0 * x[0] + 1.0 * x[1] + 0.5 * x[2]
+
+        res = run_fast99(model, [(0.0, 1.0)] * 3, n_samples=513, rng=1)
+        # Additive model: ST ~= S1 and variance shares ~ coeff^2.
+        np.testing.assert_allclose(
+            res.total_order, res.first_order, atol=0.05
+        )
+        shares = np.array([4.0, 1.0, 0.25])
+        shares /= shares.sum()
+        np.testing.assert_allclose(res.first_order, shares, atol=0.05)
+
+    def test_inert_parameter_scores_zero(self):
+        def model(x):
+            return x[0] ** 2
+
+        res = run_fast99(model, [(0.0, 1.0)] * 3, n_samples=257, rng=2)
+        assert res.first_order[1] < 0.03
+        assert res.first_order[2] < 0.03
+
+    def test_constant_output_all_zero(self):
+        res = run_fast99(lambda x: 1.0, [(0.0, 1.0)] * 3, n_samples=129, rng=0)
+        np.testing.assert_array_equal(res.first_order, 0.0)
+        np.testing.assert_array_equal(res.total_order, 0.0)
+
+
+class TestIndicesAPI:
+    def test_result_accessors(self):
+        res = Fast99Result(
+            names=("a", "b"),
+            first_order=np.array([0.3, 0.5]),
+            total_order=np.array([0.4, 0.5]),
+        )
+        assert res.interactions[0] == pytest.approx(0.1)
+        d = res.as_dict()
+        assert d["a"]["ST"] == pytest.approx(0.4)
+
+    def test_indices_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            fast99_indices(np.zeros(100), n_params=3, omega_max=8)
+
+    def test_names_propagate(self):
+        res = run_fast99(
+            lambda x: x[0], [(0, 1)] * 2, n_samples=129,
+            names=("alpha", "beta"), rng=0,
+        )
+        assert res.names == ("alpha", "beta")

@@ -1,0 +1,149 @@
+"""Morris screening and the AEDB sensitivity study + Table I summary."""
+
+import numpy as np
+import pytest
+
+from repro.sensitivity.analysis import (
+    OBJECTIVE_NAMES,
+    SENSITIVITY_RANGES,
+    AEDBSensitivityStudy,
+)
+from repro.sensitivity.morris import morris_indices, morris_sample
+from repro.sensitivity.summary import build_table1, trend_probe
+from repro.tuning import NetworkSetEvaluator
+
+
+class TestMorrisSampling:
+    def test_trajectory_structure(self):
+        traj = morris_sample(k=4, r=5, p=4, rng=0)
+        assert traj.shape == (5, 5, 4)
+        delta = 4 / (2 * 3)
+        for t in range(5):
+            for step in range(1, 5):
+                diff = traj[t, step] - traj[t, step - 1]
+                changed = np.abs(diff) > 1e-12
+                assert changed.sum() == 1
+                assert abs(diff[changed][0]) == pytest.approx(delta)
+
+    def test_each_dimension_stepped_once(self):
+        traj = morris_sample(k=3, r=4, p=4, rng=1)
+        for t in range(4):
+            dims = set()
+            for step in range(1, 4):
+                diff = traj[t, step] - traj[t, step - 1]
+                dims.add(int(np.argmax(np.abs(diff))))
+            assert dims == {0, 1, 2}
+
+    def test_rejects_odd_levels(self):
+        with pytest.raises(ValueError):
+            morris_sample(k=3, r=2, p=3)
+
+
+class TestMorrisIndices:
+    def test_linear_model_exact(self):
+        def model(x):
+            return 3.0 * x[0] - 1.0 * x[1] + 0.0 * x[2]
+
+        res = morris_indices(model, [(0, 1)] * 3, r=8, rng=0)
+        np.testing.assert_allclose(res.mu_star, [3.0, 1.0, 0.0], atol=1e-9)
+        np.testing.assert_allclose(res.sigma, 0.0, atol=1e-9)
+        assert res.ranking()[0] == "x0"
+
+    def test_nonlinear_has_sigma(self):
+        def model(x):
+            return x[0] * x[1]
+
+        res = morris_indices(model, [(0, 1)] * 2, r=20, rng=1)
+        assert res.sigma[0] > 0.01
+
+    def test_bounds_scaling(self):
+        def model(x):
+            return x[0]
+
+        res = morris_indices(model, [(0.0, 10.0), (0.0, 1.0)], r=5, rng=2)
+        assert res.mu_star[0] == pytest.approx(10.0)
+
+
+@pytest.fixture(scope="module")
+def study_evaluator():
+    return NetworkSetEvaluator.for_density(100, n_networks=1, n_nodes=12)
+
+
+class TestAEDBStudy:
+    def test_ranges_match_paper(self):
+        names = [n for n, _, _ in SENSITIVITY_RANGES]
+        assert names == [
+            "min_delay_s",
+            "max_delay_s",
+            "border_threshold_dbm",
+            "margin_threshold_db",
+            "neighbors_threshold",
+        ]
+        assert SENSITIVITY_RANGES[1][2] == 5.0
+        assert SENSITIVITY_RANGES[3][2] == pytest.approx(16.2)
+        assert SENSITIVITY_RANGES[4][2] == 100.0
+
+    def test_run_produces_all_objectives(self, study_evaluator):
+        study = AEDBSensitivityStudy(study_evaluator, n_samples=65)
+        out = study.run()
+        assert set(out) == set(OBJECTIVE_NAMES)
+        for sens in out.values():
+            assert len(sens.result.names) == 5
+            assert np.all(sens.result.first_order >= 0)
+            assert np.all(sens.result.first_order <= 1)
+
+    def test_run_cached(self, study_evaluator):
+        study = AEDBSensitivityStudy(study_evaluator, n_samples=65)
+        study.run()
+        evals = study.evaluations_used
+        study.run()
+        assert study.evaluations_used == evals == 5 * 65
+
+    def test_delay_dominates_broadcast_time(self, study_evaluator):
+        # The paper's headline qualitative finding (Fig. 2a).
+        study = AEDBSensitivityStudy(study_evaluator, n_samples=65)
+        out = study.run()
+        bt = out["broadcast_time"].result
+        delay_total = bt.first_order[0] + bt.first_order[1]
+        others = bt.first_order[2:].sum()
+        assert delay_total > others
+
+    def test_bars_structure(self, study_evaluator):
+        study = AEDBSensitivityStudy(study_evaluator, n_samples=65)
+        bars = study.run()["energy"].bars()
+        assert len(bars) == 5
+        name, main, inter = bars[0]
+        assert name == "min_delay_s"
+        assert main >= 0 and inter >= 0
+
+
+class TestTable1:
+    def test_trend_probe_shapes(self, study_evaluator):
+        probe = trend_probe(study_evaluator, "max_delay_s", n_points=5)
+        assert probe["values"].shape == (5,)
+        for obj in OBJECTIVE_NAMES:
+            assert probe[obj].shape == (5,)
+
+    def test_trend_probe_rejects_unknown(self, study_evaluator):
+        with pytest.raises(ValueError):
+            trend_probe(study_evaluator, "bogus")
+
+    def test_build_table1_complete(self, study_evaluator):
+        study = AEDBSensitivityStudy(study_evaluator, n_samples=65)
+        cells = build_table1(study, probe_points=5)
+        assert len(cells) == 5 * 4  # parameters x objectives
+        for cell in cells:
+            assert cell.direction in {"increase", "decrease", "mixed"}
+            assert cell.interaction in {"yes", "few", "very few", "no"}
+            assert cell.arrow in {"△", "▽", "△▽"}
+
+    def test_delay_increases_broadcast_time(self, study_evaluator):
+        study = AEDBSensitivityStudy(study_evaluator, n_samples=65)
+        cells = build_table1(study, probe_points=5)
+        cell = next(
+            c
+            for c in cells
+            if c.parameter == "max_delay_s" and c.objective == "broadcast_time"
+        )
+        # To minimise bt you decrease the delay (paper Table I: delay row).
+        assert cell.direction == "decrease"

@@ -1,0 +1,169 @@
+"""Sobol'/Saltelli estimator: analytic validation and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.sensitivity.fast import run_fast99
+from repro.sensitivity.sobol import (
+    SobolResult,
+    run_sobol,
+    saltelli_sample,
+    sobol_indices,
+)
+
+
+class TestSampling:
+    def test_design_shape_and_bounds(self):
+        bounds = [(0.0, 1.0), (-5.0, 5.0), (10.0, 20.0)]
+        design = saltelli_sample(bounds, n_base=64, rng=0)
+        assert design.shape == (64 * 5, 3)  # (k + 2) blocks
+        for j, (lo, hi) in enumerate(bounds):
+            assert design[:, j].min() >= lo - 1e-9
+            assert design[:, j].max() <= hi + 1e-9
+
+    def test_rounds_to_power_of_two(self):
+        design = saltelli_sample([(0, 1), (0, 1)], n_base=100, rng=0)
+        assert design.shape == (128 * 4, 2)
+
+    def test_hybrid_blocks_mix_columns(self):
+        design = saltelli_sample([(0, 1), (0, 1)], n_base=16, rng=0)
+        a, b = design[:16], design[16:32]
+        ab0 = design[32:48]
+        np.testing.assert_array_equal(ab0[:, 0], b[:, 0])
+        np.testing.assert_array_equal(ab0[:, 1], a[:, 1])
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            saltelli_sample([(0, 1)], n_base=64)
+        with pytest.raises(ValueError):
+            saltelli_sample([(0, 1), (0, 1)], n_base=4)
+        with pytest.raises(ValueError):
+            saltelli_sample([(1.0, 0.0), (0.0, 1.0)], n_base=64)
+
+
+class TestIshigami:
+    """Ishigami function: the classic analytic benchmark."""
+
+    A, B = 7.0, 0.1
+
+    @classmethod
+    def model(cls, x):
+        return (
+            np.sin(x[0])
+            + cls.A * np.sin(x[1]) ** 2
+            + cls.B * x[2] ** 4 * np.sin(x[0])
+        )
+
+    @classmethod
+    def analytic(cls):
+        a, b = cls.A, cls.B
+        v1 = 0.5 * (1.0 + b * np.pi**4 / 5.0) ** 2
+        v2 = a**2 / 8.0
+        v13 = b**2 * np.pi**8 * (1.0 / 18.0 - 1.0 / 50.0)
+        v = v1 + v2 + v13
+        s1 = np.array([v1 / v, v2 / v, 0.0])
+        st = np.array([(v1 + v13) / v, v2 / v, v13 / v])
+        return s1, st
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        bounds = [(-np.pi, np.pi)] * 3
+        return run_sobol(self.model, bounds, n_base=1024, rng=7)
+
+    def test_first_order_close_to_analytic(self, result):
+        s1, _ = self.analytic()
+        np.testing.assert_allclose(result.first_order, s1, atol=0.05)
+
+    def test_total_order_close_to_analytic(self, result):
+        _, st = self.analytic()
+        np.testing.assert_allclose(result.total_order, st, atol=0.05)
+
+    def test_x3_is_pure_interaction(self, result):
+        # x3 only matters through its interaction with x1.
+        assert result.first_order[2] < 0.05
+        assert result.interactions[2] > 0.15
+
+    def test_agrees_with_fast99(self, result):
+        bounds = [(-np.pi, np.pi)] * 3
+        fast = run_fast99(self.model, bounds, n_samples=513, rng=3)
+        np.testing.assert_allclose(
+            result.first_order, fast.first_order, atol=0.08
+        )
+        np.testing.assert_allclose(
+            result.total_order, fast.total_order, atol=0.10
+        )
+
+
+class TestGFunction:
+    """Sobol' g-function: sharp analytic first-order indices."""
+
+    COEFFS = np.array([0.0, 1.0, 4.5, 9.0])
+
+    @classmethod
+    def model(cls, x):
+        return float(
+            np.prod((np.abs(4.0 * x - 2.0) + cls.COEFFS) / (1.0 + cls.COEFFS))
+        )
+
+    @classmethod
+    def analytic_first_order(cls):
+        vi = 1.0 / (3.0 * (1.0 + cls.COEFFS) ** 2)
+        v = np.prod(1.0 + vi) - 1.0
+        return vi / v
+
+    def test_first_order(self):
+        bounds = [(0.0, 1.0)] * 4
+        result = run_sobol(self.model, bounds, n_base=2048, rng=1)
+        np.testing.assert_allclose(
+            result.first_order, self.analytic_first_order(), atol=0.05
+        )
+
+    def test_importance_ordering(self):
+        bounds = [(0.0, 1.0)] * 4
+        result = run_sobol(self.model, bounds, n_base=512, rng=2)
+        # a=0 is most important, a=9 least.
+        order = np.argsort(result.first_order)[::-1]
+        assert list(order) == [0, 1, 2, 3]
+
+
+class TestEdgeCases:
+    def test_constant_model_yields_zero_indices(self):
+        result = run_sobol(lambda x: 3.5, [(0, 1), (0, 1)], n_base=32, rng=0)
+        np.testing.assert_array_equal(result.first_order, 0.0)
+        np.testing.assert_array_equal(result.total_order, 0.0)
+
+    def test_additive_model_has_no_interactions(self):
+        result = run_sobol(
+            lambda x: x[0] + 2.0 * x[1], [(0, 1), (0, 1)], n_base=512, rng=0
+        )
+        np.testing.assert_allclose(result.interactions, 0.0, atol=0.03)
+        # Variance split 1:4 between the two parameters.
+        assert result.first_order[1] > result.first_order[0]
+        np.testing.assert_allclose(
+            result.first_order.sum(), 1.0, atol=0.05
+        )
+
+    def test_outputs_length_validation(self):
+        with pytest.raises(ValueError):
+            sobol_indices(np.zeros(10), n_params=2)  # 10 % 4 != 0
+
+    def test_names_and_dict(self):
+        result = sobol_indices(
+            np.arange(8, dtype=float), n_params=2, names=("a", "b")
+        )
+        assert isinstance(result, SobolResult)
+        d = result.as_dict()
+        assert set(d) == {"a", "b"}
+        assert set(d["a"]) == {"S1", "ST", "interaction"}
+
+    def test_default_names(self):
+        result = sobol_indices(np.arange(8, dtype=float), n_params=2)
+        assert result.names == ("x0", "x1")
+
+    def test_indices_clipped_to_unit_interval(self):
+        rng = np.random.default_rng(0)
+        result = sobol_indices(rng.normal(size=40), n_params=3)
+        assert np.all(result.first_order >= 0.0)
+        assert np.all(result.first_order <= 1.0)
+        assert np.all(result.total_order >= 0.0)
+        assert np.all(result.total_order <= 1.0)

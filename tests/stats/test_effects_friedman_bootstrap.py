@@ -1,0 +1,233 @@
+"""Effect sizes, Friedman/Holm, bootstrap CIs — incl. scipy cross-checks."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.stats import (
+    bootstrap_ci,
+    cliffs_delta,
+    friedman_posthoc,
+    friedman_test,
+    holm_bonferroni,
+    vargha_delaney_a12,
+)
+
+
+class TestA12:
+    def test_no_overlap_is_one(self):
+        e = vargha_delaney_a12([10, 11, 12], [1, 2, 3])
+        assert e.value == 1.0
+        assert e.magnitude == "large"
+
+    def test_identical_samples_half(self):
+        e = vargha_delaney_a12([1, 2, 3], [1, 2, 3])
+        assert e.value == pytest.approx(0.5)
+        assert e.magnitude == "negligible"
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(0, 1, 20), rng.normal(0.5, 1, 25)
+        assert vargha_delaney_a12(a, b).value == pytest.approx(
+            1.0 - vargha_delaney_a12(b, a).value
+        )
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.integers(0, 5, 12).astype(float), rng.integers(0, 5, 9).astype(float)
+        wins = sum((x > y) + 0.5 * (x == y) for x in a for y in b)
+        assert vargha_delaney_a12(a, b).value == pytest.approx(
+            wins / (a.size * b.size)
+        )
+
+    def test_magnitude_thresholds(self):
+        # A12 = 0.55 -> negligible; 0.60 -> small; 0.67 -> medium.
+        assert vargha_delaney_a12([1] * 55 + [0] * 45, [0] * 50 + [1] * 50)
+        e_small = vargha_delaney_a12(
+            np.r_[np.ones(60), np.zeros(40)], np.r_[np.ones(40), np.zeros(60)]
+        )
+        assert e_small.magnitude in ("small", "negligible")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            vargha_delaney_a12([], [1.0])
+
+
+class TestCliffsDelta:
+    def test_consistent_with_a12(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(1, 1, 15), rng.normal(0, 1, 15)
+        assert cliffs_delta(a, b).value == pytest.approx(
+            2.0 * vargha_delaney_a12(a, b).value - 1.0
+        )
+
+    def test_range_and_signs(self):
+        assert cliffs_delta([5, 6], [1, 2]).value == 1.0
+        assert cliffs_delta([1, 2], [5, 6]).value == -1.0
+        assert cliffs_delta([1, 2], [1, 2]).value == pytest.approx(0.0)
+
+    def test_magnitudes(self):
+        assert cliffs_delta([5, 6], [1, 2]).magnitude == "large"
+        assert cliffs_delta([1, 2], [1, 2]).magnitude == "negligible"
+
+
+class TestFriedman:
+    def test_matches_scipy_without_ties(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(12, 4))
+        ours = friedman_test(data)
+        chi_sp, p_sp = scipy.stats.friedmanchisquare(*data.T)
+        assert ours.chi_square == pytest.approx(chi_sp)
+        assert ours.p_value == pytest.approx(p_sp)
+
+    def test_matches_scipy_with_ties(self):
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 4, size=(15, 3)).astype(float)
+        ours = friedman_test(data)
+        chi_sp, p_sp = scipy.stats.friedmanchisquare(*data.T)
+        assert ours.chi_square == pytest.approx(chi_sp)
+        assert ours.p_value == pytest.approx(p_sp)
+
+    def test_detects_clear_difference(self):
+        rng = np.random.default_rng(5)
+        base = rng.normal(size=(20, 3))
+        base[:, 2] += 3.0  # one treatment systematically worse
+        res = friedman_test(base)
+        assert res.significant()
+        assert res.mean_ranks[2] == max(res.mean_ranks)
+        assert res.iman_davenport_p < 0.05
+
+    def test_no_difference_when_identical_columns(self):
+        data = np.tile(np.arange(10.0)[:, None], (1, 3))
+        res = friedman_test(data)  # all rows fully tied
+        assert res.p_value == 1.0
+        assert not res.significant()
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            friedman_test(np.zeros(5))
+        with pytest.raises(ValueError):
+            friedman_test(np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            friedman_test(np.zeros((5, 1)))
+
+
+class TestHolm:
+    def test_monotone_and_clipped(self):
+        adj = holm_bonferroni([0.01, 0.04, 0.03, 0.8])
+        assert np.all(adj <= 1.0)
+        # Holm preserves the significance ordering.
+        order_raw = np.argsort([0.01, 0.04, 0.03, 0.8])
+        assert np.all(np.diff(adj[order_raw]) >= -1e-12)
+
+    def test_known_example(self):
+        # p = (0.01, 0.02, 0.03), m = 3: adj = (0.03, 0.04, 0.04).
+        adj = holm_bonferroni([0.01, 0.02, 0.03])
+        np.testing.assert_allclose(adj, [0.03, 0.04, 0.04])
+
+    def test_single_p_unchanged(self):
+        np.testing.assert_allclose(holm_bonferroni([0.2]), [0.2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            holm_bonferroni([])
+        with pytest.raises(ValueError):
+            holm_bonferroni([1.5])
+
+
+class TestPosthoc:
+    def test_labels_and_pairs(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=(10, 3))
+        cells = friedman_posthoc(data, names=("A", "B", "C"))
+        assert [(c.a, c.b) for c in cells] == [
+            ("A", "B"),
+            ("A", "C"),
+            ("B", "C"),
+        ]
+
+    def test_adjusted_at_least_raw(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=(10, 4))
+        for cell in friedman_posthoc(data):
+            assert cell.p_adjusted >= cell.p_value - 1e-12
+
+    def test_detects_shifted_treatment(self):
+        rng = np.random.default_rng(8)
+        data = rng.normal(size=(25, 3))
+        data[:, 0] -= 5.0
+        cells = friedman_posthoc(data, names=("low", "mid", "hi"))
+        involving_low = [c for c in cells if "low" in (c.a, c.b)]
+        assert all(c.significant() for c in involving_low)
+        first = involving_low[0]
+        assert not first.a_tends_larger  # "low" really is lower
+
+    def test_name_length_validation(self):
+        with pytest.raises(ValueError):
+            friedman_posthoc(np.zeros((5, 3)), names=("a", "b"))
+
+
+class TestBootstrap:
+    def test_percentile_close_to_scipy(self):
+        rng = np.random.default_rng(9)
+        x = rng.exponential(2.0, size=60)
+        ours = bootstrap_ci(
+            x, np.mean, method="percentile", n_resamples=4000, rng=1
+        )
+        sp = scipy.stats.bootstrap(
+            (x,),
+            np.mean,
+            confidence_level=0.95,
+            n_resamples=4000,
+            method="percentile",
+            random_state=np.random.default_rng(1),
+        )
+        assert ours.low == pytest.approx(sp.confidence_interval.low, rel=0.05)
+        assert ours.high == pytest.approx(sp.confidence_interval.high, rel=0.05)
+
+    def test_bca_coverage_over_many_datasets(self):
+        # ~95% nominal coverage: over 30 independent datasets the true
+        # mean should be covered most of the time (>= 24 allows noise).
+        rng = np.random.default_rng(10)
+        covered = 0
+        for _ in range(30):
+            x = rng.normal(5.0, 1.0, size=50)
+            ci = bootstrap_ci(x, np.mean, method="bca", n_resamples=500, rng=2)
+            covered += ci.contains(5.0)
+            assert ci.low <= ci.estimate <= ci.high
+        assert covered >= 24
+
+    def test_bca_skew_correction_shifts_interval(self):
+        rng = np.random.default_rng(11)
+        x = rng.exponential(1.0, size=40)  # right-skewed
+        pct = bootstrap_ci(x, np.mean, method="percentile", rng=3)
+        bca = bootstrap_ci(x, np.mean, method="bca", rng=3)
+        assert bca.width > 0 and pct.width > 0
+        assert (bca.low, bca.high) != (pct.low, pct.high)
+
+    def test_median_statistic(self):
+        rng = np.random.default_rng(12)
+        x = rng.normal(0.0, 1.0, size=50)
+        ci = bootstrap_ci(x, np.median, rng=4)
+        assert ci.estimate == pytest.approx(np.median(x))
+
+    def test_constant_sample_zero_width(self):
+        ci = bootstrap_ci(np.full(10, 7.0), np.mean, rng=5)
+        assert ci.low == ci.high == 7.0
+        assert ci.width == 0.0
+
+    def test_narrows_with_sample_size(self):
+        rng = np.random.default_rng(13)
+        small = bootstrap_ci(rng.normal(size=20), np.mean, rng=6)
+        large = bootstrap_ci(rng.normal(size=500), np.mean, rng=6)
+        assert large.width < small.width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], n_resamples=10)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], method="magic")

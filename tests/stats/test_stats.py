@@ -1,0 +1,158 @@
+"""Statistics: ranks, Wilcoxon rank-sum vs scipy, comparisons, boxplots."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import (
+    boxplot_stats,
+    midranks,
+    pairwise_comparison_table,
+    rank_sum_test,
+)
+from repro.stats.comparison import format_table
+from repro.stats.ranks import tie_groups
+
+
+class TestMidranks:
+    def test_no_ties(self):
+        np.testing.assert_allclose(
+            midranks(np.array([30.0, 10.0, 20.0])), [3, 1, 2]
+        )
+
+    def test_ties_averaged(self):
+        np.testing.assert_allclose(
+            midranks(np.array([1.0, 2.0, 2.0, 3.0])), [1, 2.5, 2.5, 4]
+        )
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_matches_scipy_rankdata(self, values):
+        arr = np.asarray(values, dtype=float)
+        np.testing.assert_allclose(
+            midranks(arr), scipy.stats.rankdata(arr, method="average")
+        )
+
+    def test_tie_groups(self):
+        assert tie_groups(np.array([1.0, 1.0, 2.0, 3.0, 3.0, 3.0])) == [2, 3]
+        assert tie_groups(np.array([1.0, 2.0])) == []
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            midranks(np.zeros((2, 2)))
+
+
+class TestRankSum:
+    @given(
+        st.lists(st.floats(-50, 50), min_size=5, max_size=30),
+        st.lists(st.floats(-50, 50), min_size=5, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_p_value_matches_scipy(self, a, b):
+        ours = rank_sum_test(a, b)
+        ref = scipy.stats.mannwhitneyu(
+            a, b, alternative="two-sided", method="asymptotic",
+            use_continuity=True,
+        )
+        assert ours.u_statistic == pytest.approx(ref.statistic)
+        assert ours.p_value == pytest.approx(ref.pvalue, abs=1e-6)
+
+    def test_clear_separation_significant(self):
+        a = np.arange(30, dtype=float)
+        b = np.arange(30, dtype=float) + 100
+        res = rank_sum_test(a, b)
+        assert res.significant(0.05)
+        assert not res.a_tends_larger
+
+    def test_identical_samples_not_significant(self):
+        a = np.ones(30)
+        res = rank_sum_test(a, a)
+        assert res.p_value == 1.0
+        assert not res.significant()
+
+    def test_direction(self):
+        a = [10, 11, 12, 13, 14]
+        b = [1, 2, 3, 4, 5]
+        assert rank_sum_test(a, b).a_tends_larger
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rank_sum_test([], [1.0])
+
+
+class TestComparisonTable:
+    def make_samples(self):
+        gen = np.random.default_rng(0)
+        better = [gen.normal(0.1, 0.01, 30) for _ in range(3)]
+        worse = [gen.normal(0.5, 0.01, 30) for _ in range(3)]
+        equal = [gen.normal(0.5, 0.01, 30) for _ in range(3)]
+        return {
+            "A": {"igd": better},
+            "B": {"igd": worse},
+            "C": {"igd": equal},
+        }
+
+    def test_symbols(self):
+        cells = pairwise_comparison_table(
+            self.make_samples(), "igd", algorithms=("A", "B", "C")
+        )
+        ab = next(c for c in cells if c.row == "A" and c.column == "B")
+        assert ab.symbols == ("▲", "▲", "▲")  # A better (lower igd)
+        bc = next(c for c in cells if c.row == "B" and c.column == "C")
+        assert all(s == "–" for s in bc.symbols)
+
+    def test_hypervolume_sense_flipped(self):
+        gen = np.random.default_rng(1)
+        hv_hi = [gen.normal(0.9, 0.01, 30)]
+        hv_lo = [gen.normal(0.1, 0.01, 30)]
+        cells = pairwise_comparison_table(
+            {"A": {"hypervolume": hv_hi}, "B": {"hypervolume": hv_lo}},
+            "hypervolume",
+        )
+        assert cells[0].symbols == ("▲",)  # higher HV is better
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_comparison_table({}, "magic")
+
+    def test_mismatched_instances_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_comparison_table(
+                {"A": {"igd": [[1.0]]}, "B": {"igd": [[1.0], [2.0]]}},
+                "igd",
+            )
+
+    def test_format_table_renders(self):
+        cells = pairwise_comparison_table(
+            self.make_samples(), "igd", algorithms=("A", "B", "C")
+        )
+        text = format_table(cells, "igd")
+        assert "[igd]" in text and "▲" in text
+
+
+class TestBoxplot:
+    def test_five_numbers(self):
+        stats = boxplot_stats(np.arange(1.0, 102.0))
+        assert stats.minimum == 1.0 and stats.maximum == 101.0
+        assert stats.median == 51.0
+        assert stats.q1 == 26.0 and stats.q3 == 76.0
+        assert stats.iqr == 50.0
+        assert stats.outliers == ()
+
+    def test_outliers_detected(self):
+        values = np.concatenate([np.ones(20), [100.0]])
+        stats = boxplot_stats(values)
+        assert stats.outliers == (100.0,)
+        assert stats.whisker_high == 1.0
+
+    def test_single_value(self):
+        stats = boxplot_stats([3.0])
+        assert stats.median == 3.0 and stats.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+
+    def test_row_renders(self):
+        assert "med=" in boxplot_stats([1.0, 2.0, 3.0]).row("x")

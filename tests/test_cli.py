@@ -1,0 +1,123 @@
+"""CLI surface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.density == 300
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["--scale", "paper", "timing"])
+        assert args.scale == "paper"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "huge", "timing"])
+
+    def test_tune_engine_choice(self):
+        args = build_parser().parse_args(["tune", "--engine", "threads"])
+        assert args.engine == "threads"
+
+    def test_sensitivity_method_choice(self):
+        args = build_parser().parse_args(["sensitivity", "--method", "sobol"])
+        assert args.method == "sobol"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sensitivity", "--method", "tea-leaves"])
+
+    def test_protocols_defaults(self):
+        args = build_parser().parse_args(["protocols"])
+        assert args.command == "protocols"
+        assert args.density == 200
+
+
+class TestCommands:
+    def test_simulate_runs(self, capsys):
+        code = main(
+            ["simulate", "--density", "100", "--network", "0",
+             "--max-delay", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out and "coverage=" in out
+
+    def test_simulate_clips_params(self, capsys):
+        code = main(["simulate", "--density", "100", "--border", "0.0"])
+        assert code == 0
+        assert "border_threshold_dbm=-70.0" in capsys.readouterr().out
+
+
+class TestTuneCommand:
+    def test_tune_runs_at_quick_scale(self, capsys, monkeypatch):
+        # Shrink the quick preset further through the env-independent
+        # path: patch get_scale to a tiny custom scale.
+        from repro.core.config import MLSConfig
+        from repro.experiments.config import ExperimentScale
+
+        tiny = ExperimentScale(
+            name="tiny", n_runs=1, n_networks=1, moea_evaluations=40,
+            nsgaii_population=10, cellde_grid_side=3,
+            mls=MLSConfig(
+                n_populations=1, threads_per_population=2,
+                evaluations_per_thread=10, reset_iterations=5,
+            ),
+        )
+        import repro.experiments.config as config_mod
+
+        monkeypatch.setattr(config_mod, "get_scale", lambda name=None: tiny)
+        code = main(["tune", "--density", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AEDB-MLS" in out and "coverage" in out
+
+
+class TestSensitivityCommand:
+    def test_sensitivity_runs_small(self, capsys, monkeypatch):
+        from repro.core.config import MLSConfig
+        from repro.experiments.config import ExperimentScale
+
+        tiny = ExperimentScale(
+            name="tiny", n_runs=1, n_networks=1, moea_evaluations=40,
+            nsgaii_population=10, cellde_grid_side=3,
+            mls=MLSConfig(
+                n_populations=1, threads_per_population=2,
+                evaluations_per_thread=10, reset_iterations=5,
+            ),
+            fast_samples=65,
+        )
+        import repro.experiments.config as config_mod
+
+        monkeypatch.setattr(config_mod, "get_scale", lambda name=None: tiny)
+        code = main(["sensitivity", "--density", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "Table I" in out
+
+
+class TestProtocolsCommand:
+    def test_protocols_runs_small(self, capsys, monkeypatch):
+        from repro.core.config import MLSConfig
+        from repro.experiments.config import ExperimentScale
+
+        tiny = ExperimentScale(
+            name="tiny", n_runs=1, n_networks=1, moea_evaluations=40,
+            nsgaii_population=10, cellde_grid_side=3,
+            mls=MLSConfig(
+                n_populations=1, threads_per_population=2,
+                evaluations_per_thread=10, reset_iterations=5,
+            ),
+        )
+        import repro.experiments.config as config_mod
+
+        monkeypatch.setattr(config_mod, "get_scale", lambda name=None: tiny)
+        code = main(["protocols", "--density", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flooding" in out and "AEDB" in out
+        assert "best reachability" in out
