@@ -1,0 +1,69 @@
+"""Campaign-layer benchmarks.
+
+Measures what the campaign subsystem exists to buy:
+
+* ``evaluate_many`` pushing a whole batch of configurations through ONE
+  pool fan-out vs the historical per-evaluation ``pool.map`` (workers
+  idle at every aggregation barrier in the latter);
+* the campaign executor interleaving all cells' simulations through one
+  shared pool vs running the cells one evaluator at a time.
+
+Not a paper artefact — the paper runs a fixed 3×10 grid; this guards the
+scaling layer the ROADMAP grows toward.
+"""
+
+import pytest
+
+from repro.campaigns import CampaignExecutor, CampaignSpec
+from repro.manet import AEDBParams
+from repro.tuning import NetworkSetEvaluator, ParallelNetworkSetEvaluator
+
+#: A small but real batch: 8 distinct configurations.
+BATCH = [
+    AEDBParams(0.0, 0.5 + 0.25 * i, -94.0 + 2.0 * i, 1.0, 10.0)
+    for i in range(8)
+]
+
+
+@pytest.mark.parametrize("mode", ["per-eval", "batched"])
+def test_batched_vs_per_evaluation_fanout(benchmark, mode, emit):
+    """One pool fan-out for the whole batch vs one per configuration."""
+    scenarios = NetworkSetEvaluator.for_density(300, n_networks=5).scenarios
+    with ParallelNetworkSetEvaluator(scenarios, max_workers=4) as evaluator:
+        evaluator.evaluate(BATCH[0])  # warm the pool out of the timing
+
+        if mode == "per-eval":
+            results = benchmark(
+                lambda: [evaluator.evaluate(p) for p in BATCH]
+            )
+        else:
+            results = benchmark(lambda: evaluator.evaluate_many(BATCH))
+        assert len(results) == len(BATCH)
+    serial = NetworkSetEvaluator(scenarios)
+    assert results[0] == serial.evaluate(BATCH[0])
+
+
+@pytest.mark.parametrize("mode", ["serial", "pooled"])
+def test_campaign_grid_execution(benchmark, mode, emit):
+    """A 12-cell grid (2 densities x 2 mobility models x 3 seeds)."""
+    spec = CampaignSpec(
+        name="bench",
+        densities=(100, 300),
+        mobility_models=("random-walk", "gauss-markov"),
+        n_seeds=3,
+        n_networks=2,
+    )
+
+    def run():
+        executor = CampaignExecutor(
+            spec, store=None, serial=(mode == "serial"), max_workers=4
+        )
+        return executor.run()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(report.executed) == 12
+    assert report.n_simulations == 24
+    emit(
+        f"campaign[{mode}]: {len(report.executed)} cells, "
+        f"{report.n_simulations} simulations"
+    )

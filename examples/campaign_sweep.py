@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Declarative scenario-space campaign with resume.
+
+The paper evaluates AEDB on a fixed grid of 3 densities × 10 networks.
+This example shows the layer above: declare a scenario space (densities ×
+mobility models × seeds), run every cell through ONE shared process pool,
+and resume an interrupted campaign for free — the second run below skips
+everything already on disk.
+
+Run:  python examples/campaign_sweep.py
+
+Equivalent CLI:
+  repro-aedb campaign run --out runs/sweep \\
+      --densities 100,300 --mobility random-walk,gauss-markov --seeds 3
+  repro-aedb campaign report --out runs/sweep
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.campaigns import (
+    CampaignExecutor,
+    CampaignSpec,
+    ResultStore,
+    render_report,
+)
+
+
+def main() -> None:
+    # 2 densities x 2 mobility models x 3 network draws = 12 cells, each
+    # scoring the default AEDB configuration on its own network set.
+    spec = CampaignSpec(
+        name="mobility-sweep",
+        densities=(100, 300),
+        mobility_models=("random-walk", "gauss-markov"),
+        n_seeds=3,
+        n_networks=3,
+    )
+    root = Path(tempfile.mkdtemp(prefix="aedb-campaign-"))
+    store = ResultStore(root)
+    print(f"campaign of {spec.n_cells} cells -> {root}")
+
+    report = CampaignExecutor(spec, store, max_workers=4).run(
+        progress=lambda r: print(f"  done {r.cell.key}")
+    )
+    print(
+        f"\nfirst run: {len(report.executed)} cells executed through one "
+        f"shared pool ({report.n_simulations} simulations)"
+    )
+
+    # Resume semantics: results are content-keyed JSONL per cell, so a
+    # re-run (after a crash, or tomorrow) executes only what is missing.
+    again = CampaignExecutor(spec, store, max_workers=4).run()
+    print(
+        f"second run: {len(again.executed)} executed, "
+        f"{len(again.skipped)} resumed from disk"
+    )
+
+    print()
+    print(render_report(spec, store))
+    print(
+        "\nGauss-Markov's temporally-correlated motion keeps the network "
+        "better mixed than the paper's random walk at the same density — "
+        "compare the coverage column across mobility rows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Declarative scenario-space campaigns.
+
+This package is the layer above a single
+:class:`~repro.tuning.evaluation.NetworkSetEvaluator`: instead of
+hand-rolling loops over densities and seeds (as the early examples and
+benchmarks did), you *declare* the scenario space and let one executor
+drive it through a shared worker pool with resumable on-disk results.
+
+Quick guide
+===========
+
+1. **Declare the grid.**  A :class:`CampaignSpec` is a frozen description
+   of everything to run — no code, just axes::
+
+       from repro.campaigns import CampaignSpec
+
+       spec = CampaignSpec(
+           name="mobility-sweep",
+           densities=(100, 300),
+           mobility_models=("random-walk", "gauss-markov"),
+           n_seeds=3,                 # 2 x 2 x 3 = 12 cells
+           n_networks=5,
+       )
+
+   ``spec.cells()`` expands the grid into self-describing
+   :class:`CampaignCell` units (all seeds pre-derived from
+   ``master_seed``), so the same spec always names the same work.
+
+2. **Run it.**  :class:`CampaignExecutor` skips completed cells and
+   batches everything else through one persistent process pool —
+   simulations interleave *across* cells, so workers never idle at cell
+   boundaries::
+
+       from repro.campaigns import CampaignExecutor, ResultStore
+
+       store = ResultStore("runs/mobility-sweep")
+       report = CampaignExecutor(spec, store, max_workers=8).run()
+       print(f"{len(report.executed)} cells run, "
+             f"{len(report.skipped)} resumed from disk")
+
+3. **Resume for free.**  Results land as ``cells/<content-key>.jsonl``
+   the moment each cell finishes.  Kill the campaign, run the same
+   command again: only the missing cells execute.  Change the spec and
+   the content keys change with it — stale results are never reused.
+
+4. **Inspect.**  ``repro-aedb campaign run|status|report`` is the CLI
+   face of the same objects; :func:`render_report` and
+   :func:`render_status` produce the text views.
+
+Workloads
+=========
+
+``algorithms=("evaluate",)`` (default) scores fixed parameter vectors
+(``spec.params``) across the grid — pure simulation, maximally
+batchable.  Naming optimisers instead (``("NSGAII", "AEDB-MLS")``) makes
+each cell one seeded tuning run; the experiment runner's
+``run_campaign`` is expressed exactly this way, reproducing its
+historical seeds bit-for-bit.
+
+Follow-ups tracked in ROADMAP.md: distributed backends (cells are
+already self-describing and content-keyed), cross-campaign evaluation
+caching, and result dashboards on top of the JSONL store.
+"""
+
+from repro.campaigns.executor import (
+    CampaignExecutor,
+    CampaignRunReport,
+    CellResult,
+)
+from repro.campaigns.report import render_report, render_status
+from repro.campaigns.spec import (
+    DEFAULT_PARAMS,
+    EVALUATE,
+    CampaignCell,
+    CampaignSpec,
+)
+from repro.campaigns.store import CampaignStatus, ResultStore
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignCell",
+    "CampaignExecutor",
+    "CampaignRunReport",
+    "CellResult",
+    "ResultStore",
+    "CampaignStatus",
+    "render_report",
+    "render_status",
+    "EVALUATE",
+    "DEFAULT_PARAMS",
+]

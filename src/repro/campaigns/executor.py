@@ -1,0 +1,368 @@
+"""Batched parallel execution of campaign cells.
+
+The executor expands a :class:`CampaignSpec`, skips every cell the
+:class:`ResultStore` already holds, and pushes the remaining work through
+**one** persistent process pool:
+
+* evaluate cells flatten into individual ``(scenario, params)``
+  simulation jobs, so workers interleave simulations *across* cells —
+  no per-cell pool spin-up, no idle workers at cell boundaries (the
+  failure mode of the per-evaluation ``pool.map`` fan-out in
+  :mod:`repro.tuning.evaluation`);
+* tune cells ship as one whole-optimiser job each (an optimiser's
+  evaluations are sequentially dependent, so the cell is the natural
+  grain) and share the same pool, filling it while simulation jobs of
+  other cells drain.
+
+Each cell's results are written to the store the moment its last job
+lands, so an interrupted campaign keeps everything finished so far and
+the next invocation re-runs only the missing cells.  Results are
+deterministic: job payloads are reassembled in job order, and every
+record derives only from ``(cell, payloads)`` — never from wall-clock or
+scheduling order (tune records carry a ``runtime_s`` diagnostic, which is
+the one intentionally non-reproducible field).
+
+``serial=True`` runs the same jobs in-process in spec order — the mode
+the experiment runner uses to reproduce its historical single-threaded
+behaviour exactly, and the cheapest path for tiny sweeps.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.campaigns.spec import EVALUATE, CampaignCell, CampaignSpec
+from repro.campaigns.store import ResultStore
+from repro.manet.aedb import AEDBParams
+from repro.manet.metrics import BroadcastMetrics, aggregate_metrics
+from repro.manet.scenarios import NetworkScenario
+from repro.manet.simulator import BroadcastSimulator
+
+__all__ = ["CampaignExecutor", "CampaignRunReport", "CellResult"]
+
+
+# --------------------------------------------------------------------- #
+# Job shapes (module-level, picklable).
+@dataclass(frozen=True)
+class _SimJob:
+    cell_key: str
+    index: int
+    scenario: NetworkScenario
+    params: AEDBParams
+
+
+@dataclass(frozen=True)
+class _TuneJob:
+    cell_key: str
+    index: int
+    algorithm: str
+    density: float
+    mobility_model: str
+    area_side_m: float
+    n_networks: int
+    n_nodes: int | None
+    master_seed: int
+    seed: int
+    scale: object  # ExperimentScale (kept untyped to avoid an import cycle)
+    mls_engine: str | None
+
+
+def _execute_job(job):
+    """Worker entry point: one simulation or one optimiser run."""
+    if isinstance(job, _SimJob):
+        return BroadcastSimulator(job.scenario, job.params).run()
+    return _run_tune_job(job)
+
+
+def _run_tune_job(job: _TuneJob):
+    # Local imports: evaluate-only campaigns never pay for the optimiser
+    # stack, and module-level imports here would cycle with
+    # repro.experiments.runner.
+    from repro.experiments.runner import make_algorithm
+    from repro.manet.config import SimulationConfig
+    from repro.tuning import make_tuning_problem
+
+    problem = make_tuning_problem(
+        job.density,
+        n_networks=job.n_networks,
+        master_seed=job.master_seed,
+        n_nodes=job.n_nodes,
+        sim=SimulationConfig(area_side_m=job.area_side_m),
+        mobility_model=job.mobility_model,
+    )
+    alg = make_algorithm(job.algorithm, problem, job.scale, job.seed,
+                         job.mls_engine)
+    return alg.run()
+
+
+# --------------------------------------------------------------------- #
+def _metrics_dict(metrics: BroadcastMetrics) -> dict:
+    return {
+        "coverage": metrics.coverage,
+        "energy_dbm": metrics.energy_dbm,
+        "forwardings": metrics.forwardings,
+        "broadcast_time_s": metrics.broadcast_time_s,
+        "n_nodes": metrics.n_nodes,
+    }
+
+
+def _plain(value):
+    """Best-effort conversion to JSON-encodable data (records only)."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_plain(v) for v in value.tolist()]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _records_for(cell: CampaignCell, payloads: list) -> list[dict]:
+    """Serialise a cell's job payloads (job order) into store records."""
+    if cell.algorithm == EVALUATE:
+        records = []
+        n_scen = cell.n_networks
+        for i, params in enumerate(cell.param_sets()):
+            runs = payloads[i * n_scen:(i + 1) * n_scen]
+            records.append({
+                "kind": "record",
+                "index": i,
+                "params": [float(v) for v in params.as_array()],
+                "aggregate": _metrics_dict(aggregate_metrics(runs)),
+                "per_network": [_metrics_dict(m) for m in runs],
+            })
+        return records
+    from repro.experiments.io import front_to_jsonable
+
+    result = payloads[0]
+    return [{
+        "kind": "record",
+        "index": 0,
+        "algorithm": cell.algorithm,
+        "evaluations": int(result.evaluations),
+        "runtime_s": float(result.runtime_s),
+        "front": front_to_jsonable(result.front),
+        "info": _plain(result.info),
+    }]
+
+
+# --------------------------------------------------------------------- #
+@dataclass
+class CellResult:
+    """One executed cell: its records and the live job payloads."""
+
+    cell: CampaignCell
+    #: Store-shaped records (what :class:`ResultStore` persisted).
+    records: list[dict]
+    #: In-process payloads in job order — :class:`BroadcastMetrics` for
+    #: evaluate cells, one ``AlgorithmResult`` for tune cells.
+    payloads: list
+
+
+@dataclass
+class CampaignRunReport:
+    """What one :meth:`CampaignExecutor.run` invocation did."""
+
+    spec: CampaignSpec
+    executed: list[CellResult] = field(default_factory=list)
+    skipped: list[CampaignCell] = field(default_factory=list)
+
+    @property
+    def executed_keys(self) -> list[str]:
+        return [r.cell.key for r in self.executed]
+
+    @property
+    def n_simulations(self) -> int:
+        """Direct simulation jobs run (tune cells count their own inside)."""
+        return sum(r.cell.n_simulations for r in self.executed)
+
+
+class CampaignExecutor:
+    """Run a campaign's pending cells through one shared process pool."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore | None = None,
+        max_workers: int | None = None,
+        serial: bool = False,
+        scale=None,
+        mls_engine: str | None = None,
+    ):
+        """``store=None`` runs in memory (results only in the report).
+
+        ``scale`` overrides the spec's named preset with a concrete
+        :class:`~repro.experiments.config.ExperimentScale` (the runner
+        passes ad-hoc scales that have no registry name);
+        ``mls_engine`` is forwarded to AEDB-MLS tune cells.
+        """
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.spec = spec
+        self.store = store
+        self.max_workers = max_workers
+        self.serial = serial
+        self._scale_override = scale
+        self.mls_engine = mls_engine
+
+    # ------------------------------------------------------------------ #
+    def _scale_for(self, cell: CampaignCell):
+        if self._scale_override is not None:
+            return self._scale_override
+        from repro.experiments.config import get_scale
+
+        return get_scale(cell.scale or None)
+
+    def _jobs_for(self, cell: CampaignCell) -> list:
+        if cell.algorithm == EVALUATE:
+            scenarios = cell.scenarios()
+            return [
+                _SimJob(cell.key, i * len(scenarios) + j, scenario, params)
+                for i, params in enumerate(cell.param_sets())
+                for j, scenario in enumerate(scenarios)
+            ]
+        return [
+            _TuneJob(
+                cell_key=cell.key,
+                index=0,
+                algorithm=cell.algorithm,
+                density=cell.density_per_km2,
+                mobility_model=cell.mobility_model,
+                area_side_m=cell.area_side_m,
+                n_networks=cell.n_networks,
+                n_nodes=cell.n_nodes,
+                master_seed=cell.scenario_seed,
+                seed=cell.algorithm_seed,
+                scale=self._scale_for(cell),
+                mls_engine=self.mls_engine,
+            )
+        ]
+
+    # ------------------------------------------------------------------ #
+    def run(self, progress=None) -> CampaignRunReport:
+        """Execute every pending cell; return what happened.
+
+        ``progress(cell_result)`` fires as each cell completes (spec
+        order when serial; completion order when parallel).
+        """
+        cells = self.spec.cells()
+        self._check_algorithms(cells)
+        if self.store is not None:
+            self.store.save_spec(self.spec)
+            pending = [c for c in cells if not self.store.is_complete(c)]
+        else:
+            pending = list(cells)
+        report = CampaignRunReport(
+            spec=self.spec,
+            skipped=[c for c in cells if c not in pending],
+        )
+        if not pending:
+            return report
+        if self.serial:
+            self._run_serial(pending, report, progress)
+        else:
+            self._run_pooled(pending, report, progress)
+        return report
+
+    @staticmethod
+    def _check_algorithms(cells) -> None:
+        # Validate before anything touches the store: a bad algorithm
+        # name must not leave a poisoned spec.json behind.
+        tune = {c.algorithm for c in cells if c.algorithm != EVALUATE}
+        if not tune:
+            return
+        from repro.experiments.runner import ALGORITHMS
+
+        unknown = sorted(tune - set(ALGORITHMS))
+        if unknown:
+            raise ValueError(
+                f"unknown algorithm(s) {unknown}; "
+                f"known: {(EVALUATE,) + ALGORITHMS}"
+            )
+
+    def _finish_cell(
+        self, cell: CampaignCell, payloads: list,
+        report: CampaignRunReport, progress,
+    ) -> None:
+        records = _records_for(cell, payloads)
+        if self.store is not None:
+            self.store.write_cell(cell, records)
+        result = CellResult(cell=cell, records=records, payloads=payloads)
+        report.executed.append(result)
+        if progress is not None:
+            progress(result)
+
+    def _run_serial(self, pending, report, progress) -> None:
+        for cell in pending:
+            payloads = [_execute_job(job) for job in self._jobs_for(cell)]
+            self._finish_cell(cell, payloads, report, progress)
+
+    def _run_pooled(self, pending, report, progress) -> None:
+        # Build every job up front so the pool sees the whole campaign's
+        # work at once; buckets reassemble payloads per cell in job order.
+        jobs_by_cell = {cell.key: self._jobs_for(cell) for cell in pending}
+        cell_by_key = {cell.key: cell for cell in pending}
+        buckets: dict[str, dict[int, object]] = {
+            key: {} for key in jobs_by_cell
+        }
+        failures: dict[str, Exception] = {}
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {
+                pool.submit(_execute_job, job): job
+                for jobs in jobs_by_cell.values()
+                for job in jobs
+            }
+            remaining = set(futures)
+            try:
+                while remaining:
+                    done, remaining = wait(
+                        remaining, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        job = futures[future]
+                        # A failed job fails its cell but never the
+                        # drain: every other cell still completes and
+                        # persists, keeping the resume contract (the
+                        # next run re-executes only the failed cells).
+                        try:
+                            payload = future.result()
+                        except Exception as exc:  # noqa: BLE001
+                            failures.setdefault(job.cell_key, exc)
+                            continue
+                        bucket = buckets[job.cell_key]
+                        bucket[job.index] = payload
+                        if (
+                            job.cell_key not in failures
+                            and len(bucket) == len(jobs_by_cell[job.cell_key])
+                        ):
+                            payloads = [bucket[i] for i in sorted(bucket)]
+                            self._finish_cell(
+                                cell_by_key[job.cell_key], payloads,
+                                report, progress,
+                            )
+            except BaseException:
+                # Finished cells are already on disk; don't burn through
+                # the rest of the queue before re-raising.
+                for future in remaining:
+                    future.cancel()
+                raise
+        # Report in spec order regardless of completion order.
+        order = {cell.key: i for i, cell in enumerate(pending)}
+        report.executed.sort(key=lambda r: order[r.cell.key])
+        if failures:
+            details = "; ".join(
+                f"{key}: {exc!r}" for key, exc in sorted(failures.items())
+            )
+            raise RuntimeError(
+                f"{len(failures)} campaign cell(s) failed (completed cells "
+                f"were persisted and will be skipped on re-run) — {details}"
+            )

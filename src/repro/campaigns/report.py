@@ -1,0 +1,65 @@
+"""Plain-text campaign status and result rendering (CLI surface)."""
+
+from __future__ import annotations
+
+from repro.campaigns.spec import EVALUATE, CampaignSpec
+from repro.campaigns.store import ResultStore
+
+__all__ = ["render_status", "render_report"]
+
+
+def render_status(spec: CampaignSpec, store: ResultStore) -> str:
+    """Completion census plus the pending cell keys."""
+    status = store.status(spec)
+    lines = [
+        f"campaign '{spec.name}': {status.complete}/{status.total} cells "
+        f"complete ({status.pending} pending)",
+        f"grid: {len(spec.densities)} densities x "
+        f"{len(spec.mobility_models)} mobility models x "
+        f"{len(spec.area_sides_m)} arenas x {spec.n_seeds} seeds x "
+        f"{len(spec.algorithms)} algorithms",
+        f"store: {store.root}",
+    ]
+    pending = store.pending_cells(spec)
+    if pending:
+        lines.append("pending cells:")
+        lines += [f"  {cell.key}" for cell in pending]
+    return "\n".join(lines)
+
+
+def render_report(spec: CampaignSpec, store: ResultStore) -> str:
+    """One row per completed record across the whole grid."""
+    header = (
+        f"{'density':>8s} {'mobility':>16s} {'arena':>6s} {'seed':>4s} "
+        f"{'algorithm':>12s} {'coverage':>9s} {'energy':>10s} "
+        f"{'forward.':>9s} {'bt[s]':>6s} {'front':>6s} {'evals':>6s}"
+    )
+    lines = [f"campaign '{spec.name}' results", header]
+    incomplete = 0
+    for cell in spec.cells():
+        try:
+            records = store.read_cell(cell)
+        except FileNotFoundError:
+            incomplete += 1
+            continue
+        prefix = (
+            f"{cell.density_per_km2:>8g} {cell.mobility_model:>16s} "
+            f"{cell.area_side_m:>6g} {cell.seed_index:>4d} "
+            f"{cell.algorithm:>12s}"
+        )
+        for record in records:
+            if cell.algorithm == EVALUATE:
+                agg = record["aggregate"]
+                lines.append(
+                    f"{prefix} {agg['coverage']:>9.1f} "
+                    f"{agg['energy_dbm']:>10.1f} {agg['forwardings']:>9.1f} "
+                    f"{agg['broadcast_time_s']:>6.2f} {'-':>6s} {'-':>6s}"
+                )
+            else:
+                lines.append(
+                    f"{prefix} {'-':>9s} {'-':>10s} {'-':>9s} {'-':>6s} "
+                    f"{len(record['front']):>6d} {record['evaluations']:>6d}"
+                )
+    if incomplete:
+        lines.append(f"({incomplete} cells not yet complete)")
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Resumable on-disk campaign results.
+
+Layout under one campaign directory::
+
+    <root>/
+      spec.json            # the CampaignSpec that owns this directory
+      cells/<key>.jsonl    # one file per completed cell
+
+A cell file is JSON Lines: a header line carrying the full cell
+description, one line per result record, and a terminal ``done`` marker.
+Files are written whole and atomically (temp file + ``os.replace``), so
+a crash mid-campaign leaves *missing* cells, never half-written ones —
+resume is simply "run the cells whose files lack a done marker".  Cell
+files are content-keyed by :attr:`CampaignCell.key`: editing the spec
+changes the keys, so stale results are never picked up by mistake.
+
+All JSON is canonically encoded (sorted keys, fixed separators), which
+makes a re-run of the same spec + seed produce bit-identical files —
+the determinism contract the campaign tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.campaigns.spec import CampaignCell, CampaignSpec, canonical_json
+
+__all__ = ["ResultStore", "CampaignStatus"]
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Completion census of a campaign directory."""
+
+    total: int
+    complete: int
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.complete
+
+    @property
+    def is_complete(self) -> bool:
+        return self.complete == self.total
+
+
+class ResultStore:
+    """JSONL-per-cell result persistence with content-keyed resume."""
+
+    SPEC_FILE = "spec.json"
+    CELLS_DIR = "cells"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def spec_path(self) -> Path:
+        return self.root / self.SPEC_FILE
+
+    def cell_path(self, cell: CampaignCell) -> Path:
+        return self.root / self.CELLS_DIR / f"{cell.key}.jsonl"
+
+    # ------------------------------------------------------------------ #
+    def save_spec(self, spec: CampaignSpec) -> None:
+        """Record the owning spec (refuses to mix campaigns in one dir)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / self.CELLS_DIR).mkdir(exist_ok=True)
+        text = spec.to_json()
+        if self.spec_path.exists():
+            existing = self.spec_path.read_text()
+            if existing != text:
+                raise ValueError(
+                    f"{self.spec_path} already holds a different campaign "
+                    "spec; use a fresh directory (or delete it) to change "
+                    "the grid"
+                )
+            return
+        self._write_atomic(self.spec_path, text)
+
+    def load_spec(self) -> CampaignSpec:
+        """The spec recorded by :meth:`save_spec`."""
+        if not self.spec_path.exists():
+            raise FileNotFoundError(
+                f"no campaign spec at {self.spec_path}; run the campaign "
+                "first (or point --out at a campaign directory)"
+            )
+        return CampaignSpec.from_json(self.spec_path.read_text())
+
+    # ------------------------------------------------------------------ #
+    def write_cell(self, cell: CampaignCell, records: list[dict]) -> None:
+        """Persist one completed cell (atomic; done marker terminates)."""
+        lines = [
+            canonical_json({"kind": "cell", "key": cell.key,
+                            "cell": cell.as_dict()})
+        ]
+        lines += [canonical_json(record) for record in records]
+        lines.append(canonical_json({"kind": "done",
+                                     "n_records": len(records)}))
+        path = self.cell_path(cell)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(path, "\n".join(lines) + "\n")
+
+    def read_cell(self, cell: CampaignCell) -> list[dict]:
+        """The result records of a completed cell (raises if incomplete).
+
+        Single read: completeness (the terminal done marker) is checked
+        on the same parse that yields the records.
+        """
+        path = self.cell_path(cell)
+        try:
+            lines = path.read_text().splitlines()
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"cell {cell.key} has no completed results under {self.root}"
+            ) from None
+        try:
+            entries = [json.loads(line) for line in lines if line.strip()]
+        except json.JSONDecodeError:
+            entries = []
+        if not entries or entries[-1].get("kind") != "done":
+            raise FileNotFoundError(
+                f"cell {cell.key} has no completed results under {self.root}"
+            )
+        return [e for e in entries if e.get("kind") == "record"]
+
+    def delete_cell(self, cell: CampaignCell) -> None:
+        """Forget one cell's results (the next run re-executes it)."""
+        self.cell_path(cell).unlink(missing_ok=True)
+
+    def is_complete(self, cell: CampaignCell) -> bool:
+        """True when the cell file exists and ends with the done marker."""
+        path = self.cell_path(cell)
+        if not path.exists():
+            return False
+        lines = path.read_text().splitlines()
+        for line in reversed(lines):
+            if line.strip():
+                try:
+                    return json.loads(line).get("kind") == "done"
+                except json.JSONDecodeError:
+                    return False
+        return False
+
+    # ------------------------------------------------------------------ #
+    def completed_cells(self, spec: CampaignSpec) -> list[CampaignCell]:
+        return [c for c in spec.cells() if self.is_complete(c)]
+
+    def pending_cells(self, spec: CampaignSpec) -> list[CampaignCell]:
+        return [c for c in spec.cells() if not self.is_complete(c)]
+
+    def status(self, spec: CampaignSpec) -> CampaignStatus:
+        cells = spec.cells()
+        done = sum(1 for c in cells if self.is_complete(c))
+        return CampaignStatus(total=len(cells), complete=done)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)

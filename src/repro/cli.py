@@ -10,7 +10,11 @@ Subcommands map to the deliverables:
   summary;
 * ``timing``      — the execution-time experiment;
 * ``protocols``   — broadcast-storm baseline suite vs AEDB (Sect. I
-  context).
+  context);
+* ``campaign``    — declarative scenario-space sweeps (densities ×
+  mobility models × arenas × seeds × algorithms) with batched parallel
+  execution and a resumable result store: ``campaign run``,
+  ``campaign status``, ``campaign report``.
 
 Every command honours ``--scale {quick,medium,paper}`` (or the
 ``REPRO_SCALE`` env var) and ``--seed``.
@@ -78,6 +82,57 @@ def build_parser() -> argparse.ArgumentParser:
         "protocols", help="broadcast-storm baselines vs AEDB"
     )
     prot.add_argument("--density", type=int, default=200)
+
+    camp = sub.add_parser(
+        "campaign", help="declarative scenario-space sweeps"
+    )
+    camp_sub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    run_p = camp_sub.add_parser("run", help="execute the pending cells")
+    run_p.add_argument("--out", required=True, help="campaign directory")
+    run_p.add_argument(
+        "--spec", default=None,
+        help="JSON spec file (overrides the grid flags below)",
+    )
+    run_p.add_argument("--name", default="campaign", help="campaign name")
+    run_p.add_argument(
+        "--densities", default="100,200,300",
+        help="comma-separated devices/km^2",
+    )
+    run_p.add_argument(
+        "--mobility", default="random-walk",
+        help="comma-separated mobility models",
+    )
+    run_p.add_argument(
+        "--arenas", default="500", help="comma-separated arena sides, m"
+    )
+    run_p.add_argument(
+        "--seeds", type=int, default=1, help="grid points on the seeds axis"
+    )
+    run_p.add_argument(
+        "--algorithms", default="evaluate",
+        help="comma-separated: 'evaluate' and/or optimiser names",
+    )
+    run_p.add_argument(
+        "--networks", type=int, default=None,
+        help="evaluation networks per cell (default: scale preset)",
+    )
+    run_p.add_argument(
+        "--nodes", type=int, default=None,
+        help="node-count override (quick sweeps)",
+    )
+    run_p.add_argument(
+        "--workers", type=int, default=None, help="process pool size"
+    )
+    run_p.add_argument(
+        "--serial", action="store_true", help="run in-process, no pool"
+    )
+
+    status_p = camp_sub.add_parser("status", help="completion census")
+    status_p.add_argument("--out", required=True, help="campaign directory")
+
+    report_p = camp_sub.add_parser("report", help="render completed results")
+    report_p.add_argument("--out", required=True, help="campaign directory")
     return parser
 
 
@@ -210,6 +265,59 @@ def _cmd_protocols(args, scale) -> int:
     return 0
 
 
+def _campaign_spec_from_args(args, scale):
+    from repro.campaigns import CampaignSpec
+
+    if args.spec is not None:
+        return CampaignSpec.from_file(args.spec)
+    return CampaignSpec(
+        name=args.name,
+        densities=tuple(int(d) for d in args.densities.split(",")),
+        mobility_models=tuple(args.mobility.split(",")),
+        area_sides_m=tuple(float(a) for a in args.arenas.split(",")),
+        n_seeds=args.seeds,
+        algorithms=tuple(args.algorithms.split(",")),
+        n_networks=(
+            args.networks if args.networks is not None else scale.n_networks
+        ),
+        n_nodes=args.nodes,
+        master_seed=args.seed,
+        scale=scale.name,
+    )
+
+
+def _cmd_campaign(args, scale) -> int:
+    from repro.campaigns import (
+        CampaignExecutor,
+        ResultStore,
+        render_report,
+        render_status,
+    )
+
+    store = ResultStore(args.out)
+    if args.campaign_command == "status":
+        print(render_status(store.load_spec(), store))
+        return 0
+    if args.campaign_command == "report":
+        print(render_report(store.load_spec(), store))
+        return 0
+
+    spec = _campaign_spec_from_args(args, scale)
+    executor = CampaignExecutor(
+        spec, store, max_workers=args.workers, serial=args.serial
+    )
+    report = executor.run(
+        progress=lambda r: print(f"  cell {r.cell.key} done", flush=True)
+    )
+    print(
+        f"campaign '{spec.name}': {len(report.executed)} cells executed, "
+        f"{len(report.skipped)} already complete "
+        f"({report.n_simulations} simulations this run)"
+    )
+    print(render_status(spec, store))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point."""
     args = build_parser().parse_args(argv)
@@ -228,6 +336,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_timing(args, scale)
     if args.command == "protocols":
         return _cmd_protocols(args, scale)
+    if args.command == "campaign":
+        return _cmd_campaign(args, scale)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

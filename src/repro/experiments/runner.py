@@ -3,6 +3,12 @@
 Builds the tuning problem for a density, instantiates an algorithm with a
 run-specific seed, and collects the :class:`AlgorithmResult` of each of
 the K independent runs — the raw material for Figs. 6/7 and Table IV.
+
+:func:`run_campaign` is expressed as a one-algorithm, one-density
+:class:`~repro.campaigns.CampaignSpec` driven by the campaign executor —
+the seed keying is unchanged, so results are bit-for-bit identical to
+the historical hand-rolled loop, but the same spec can now be scaled,
+parallelised and resumed through ``repro-aedb campaign``.
 """
 
 from __future__ import annotations
@@ -21,8 +27,7 @@ from repro.moo.algorithms import (
     RandomSearch,
 )
 from repro.moo.algorithms.base import AlgorithmResult
-from repro.tuning import AEDBTuningProblem, make_tuning_problem
-from repro.utils.rng import RngFactory
+from repro.tuning import AEDBTuningProblem
 
 __all__ = ["ALGORITHMS", "Campaign", "make_algorithm", "run_campaign"]
 
@@ -157,24 +162,36 @@ def run_campaign(
 
     Each run gets a fresh problem instance (so evaluation counters are
     per-run) over the *same* evaluation networks (scenario construction is
-    keyed by the master seed), and a run-specific algorithm seed.
+    keyed by the master seed), and a run-specific algorithm seed — the
+    seeds axis of a one-algorithm campaign spec.
     """
+    # Local import: the campaign executor reaches back into this module
+    # for make_algorithm, so the dependency must not be circular at
+    # import time.
+    from repro.campaigns import CampaignExecutor, CampaignSpec
+
     scale = scale or get_scale()
     runs = n_runs if n_runs is not None else scale.n_runs
-    factory = RngFactory(scale.master_seed)
     campaign = Campaign(algorithm=algorithm, density=density)
-    for k in range(runs):
-        problem = make_tuning_problem(
-            density,
-            n_networks=scale.n_networks,
-            master_seed=scale.master_seed,
+    if runs <= 0:
+        return campaign
+    spec = CampaignSpec(
+        name=f"{algorithm}-d{density}",
+        densities=(density,),
+        n_seeds=runs,
+        algorithms=(algorithm,),
+        n_networks=scale.n_networks,
+        master_seed=scale.master_seed,
+        scale=scale.name,
+    )
+    executor = CampaignExecutor(
+        spec, store=None, serial=True, scale=scale, mls_engine=mls_engine
+    )
+    callback = None
+    if progress is not None:
+        callback = lambda r: progress(  # noqa: E731 - tiny adapter
+            algorithm, density, r.cell.seed_index, r.payloads[0]
         )
-        seed = int(
-            factory.seed_sequence("run", algorithm, density, k).generate_state(1)[0]
-        )
-        alg = make_algorithm(algorithm, problem, scale, seed, mls_engine)
-        result = alg.run()
-        campaign.results.append(result)
-        if progress is not None:
-            progress(algorithm, density, k, result)
+    report = executor.run(progress=callback)
+    campaign.results = [r.payloads[0] for r in report.executed]
     return campaign

@@ -29,7 +29,12 @@ from repro.manet.config import (
     SimulationConfig,
 )
 from repro.manet.metrics import BroadcastMetrics
-from repro.manet.scenarios import NetworkScenario, make_scenarios, nodes_for_density
+from repro.manet.scenarios import (
+    MOBILITY_MODELS,
+    NetworkScenario,
+    make_scenarios,
+    nodes_for_density,
+)
 from repro.manet.simulator import BroadcastSimulator, simulate_broadcast
 
 __all__ = [
@@ -43,4 +48,5 @@ __all__ = [
     "NetworkScenario",
     "make_scenarios",
     "nodes_for_density",
+    "MOBILITY_MODELS",
 ]

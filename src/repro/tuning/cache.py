@@ -3,16 +3,19 @@
 The simulator makes fitness a pure function of the parameter vector, so
 re-evaluating an identical vector (which population algorithms do when
 clones survive selection) is wasted work.  The cache is keyed on the
-vector rounded to a configurable precision and is thread-safe (AEDB-MLS's
-shared-memory engine evaluates from many threads).
+vector rounded to a configurable precision, evicts in true LRU order
+(hits refresh recency, the oldest entry goes first), and is thread-safe
+(AEDB-MLS's shared-memory engine evaluates from many threads).
 
 Disabled by default in experiment presets — the paper does not cache — but
-exposed for the ablation benchmarks and for interactive use.
+exposed for the ablation benchmarks, the campaign executor's batched
+evaluation path, and interactive use.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Callable
 
 import numpy as np
@@ -21,21 +24,50 @@ __all__ = ["EvaluationCache"]
 
 
 class EvaluationCache:
-    """Bounded memoisation of ``vector -> payload`` evaluations."""
+    """Bounded LRU memoisation of ``vector -> payload`` evaluations."""
 
     def __init__(self, decimals: int = 9, max_entries: int = 100_000):
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.decimals = int(decimals)
         self.max_entries = int(max_entries)
-        self._store: dict[tuple[float, ...], object] = {}
+        self._store: OrderedDict[tuple[float, ...], object] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def key_for(self, vector: np.ndarray) -> tuple[float, ...]:
         """Cache key: the vector rounded to ``decimals`` places."""
         return tuple(np.round(np.asarray(vector, dtype=float), self.decimals))
+
+    # ------------------------------------------------------------------ #
+    def get(self, vector: np.ndarray) -> object | None:
+        """The cached payload, or ``None`` on a miss (both are counted).
+
+        A hit moves the entry to the most-recently-used position.
+        Payloads are never ``None`` (callers store metrics objects), so
+        ``None`` unambiguously means absent.
+        """
+        key = self.key_for(vector)
+        with self._lock:
+            if key in self._store:
+                self.hits += 1
+                self._store.move_to_end(key)
+                return self._store[key]
+            self.misses += 1
+            return None
+
+    def put(self, vector: np.ndarray, payload: object) -> None:
+        """Insert (or refresh) an entry, evicting the LRU one if full."""
+        key = self.key_for(vector)
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+            elif len(self._store) >= self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
+            self._store[key] = payload
 
     def get_or_compute(
         self, vector: np.ndarray, compute: Callable[[], object]
@@ -47,20 +79,13 @@ class EvaluationCache:
         for the same key is accepted — last writer wins, results being
         deterministic makes that harmless.
         """
-        key = self.key_for(vector)
-        with self._lock:
-            if key in self._store:
-                self.hits += 1
-                return self._store[key]
-        payload = compute()
-        with self._lock:
-            self.misses += 1
-            if len(self._store) >= self.max_entries:
-                # Degenerate but bounded: drop an arbitrary entry.
-                self._store.pop(next(iter(self._store)))
-            self._store[key] = payload
+        payload = self.get(vector)
+        if payload is None:
+            payload = compute()
+            self.put(vector, payload)
         return payload
 
+    # ------------------------------------------------------------------ #
     def __len__(self) -> int:
         with self._lock:
             return len(self._store)
@@ -71,9 +96,26 @@ class EvaluationCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> dict:
+        """Counters snapshot: hits, misses, evictions, size, capacity."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._store),
+                "max_entries": self.max_entries,
+                "hit_rate": (
+                    self.hits / (self.hits + self.misses)
+                    if (self.hits + self.misses)
+                    else 0.0
+                ),
+            }
+
     def clear(self) -> None:
         """Drop all entries and reset counters."""
         with self._lock:
             self._store.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0

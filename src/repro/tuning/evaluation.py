@@ -16,10 +16,20 @@ bit-for-bit identical to the serial evaluator).  Worth it when the
 per-simulation cost dominates the process round-trip — the paper-scale
 75-node networks, not the tiny test fixtures; the break-even is
 measured in ``benchmarks/bench_simulator.py``.
+
+:meth:`NetworkSetEvaluator.evaluate_many` is the batched entry point:
+the parallel evaluator pushes *all* configurations' simulations through
+one ``pool.map`` instead of one fan-out per configuration, which keeps
+every worker busy across configuration boundaries — the primitive the
+campaign executor builds on.  The worker pool is persistent across
+batches and is reclaimed by :meth:`close`, the context manager, or (via
+``weakref.finalize``) garbage collection and interpreter exit, so an
+unclosed evaluator no longer orphans worker processes.
 """
 
 from __future__ import annotations
 
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -36,6 +46,11 @@ __all__ = ["NetworkSetEvaluator", "ParallelNetworkSetEvaluator"]
 def _simulate_one(scenario: NetworkScenario, params: AEDBParams) -> BroadcastMetrics:
     """Module-level worker (must be picklable for process pools)."""
     return BroadcastSimulator(scenario, params).run()
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """Finalizer target (module-level so it holds no evaluator ref)."""
+    pool.shutdown()
 
 
 class NetworkSetEvaluator:
@@ -68,6 +83,7 @@ class NetworkSetEvaluator:
         n_nodes: int | None = None,
         sim=None,
         cache: EvaluationCache | None = None,
+        mobility_model: str = "random-walk",
     ) -> "NetworkSetEvaluator":
         """Build the paper's evaluation set for one density."""
         return cls(
@@ -77,6 +93,7 @@ class NetworkSetEvaluator:
                 master_seed=master_seed,
                 n_nodes=n_nodes,
                 sim=sim,
+                mobility_model=mobility_model,
             ),
             cache=cache,
         )
@@ -109,6 +126,16 @@ class NetworkSetEvaluator:
         assert isinstance(result, BroadcastMetrics)
         return result
 
+    def evaluate_many(
+        self, params_list: list[AEDBParams]
+    ) -> list[BroadcastMetrics]:
+        """Averaged metrics for a batch of configurations, input order.
+
+        The serial baseline simply loops; the parallel evaluator
+        overrides this with a single flattened pool fan-out.
+        """
+        return [self.evaluate(p) for p in params_list]
+
     def evaluate_vector(self, vector: np.ndarray) -> BroadcastMetrics:
         """Averaged metrics for a raw parameter vector (clipped)."""
         return self.evaluate(AEDBParams.from_array(vector).clipped())
@@ -120,8 +147,10 @@ class ParallelNetworkSetEvaluator(NetworkSetEvaluator):
     Drop-in for :class:`NetworkSetEvaluator` — identical results
     (simulations are pure functions of their inputs and are aggregated
     in scenario order), different wall-clock.  The pool is created
-    lazily on first use and shut down by :meth:`close` or the context
-    manager.
+    lazily on first use, reused across :meth:`evaluate` /
+    :meth:`evaluate_many` calls, and shut down by :meth:`close`, the
+    context manager, or a ``weakref.finalize`` hook when the evaluator
+    is garbage-collected or the interpreter exits.
     """
 
     def __init__(
@@ -135,10 +164,18 @@ class ParallelNetworkSetEvaluator(NetworkSetEvaluator):
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         self.max_workers = max_workers
         self._pool: ProcessPoolExecutor | None = None
+        self._finalizer: weakref.finalize | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            # Reclaims the workers when the evaluator is collected or the
+            # interpreter exits, whichever comes first — close() makes it
+            # a no-op.  The callback must not reference self (it would
+            # keep the evaluator alive forever).
+            self._finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool
+            )
         return self._pool
 
     def _simulate_all(self, params: AEDBParams) -> BroadcastMetrics:
@@ -153,11 +190,63 @@ class ParallelNetworkSetEvaluator(NetworkSetEvaluator):
         self.simulations_run += len(runs)
         return aggregate_metrics(runs)
 
+    def evaluate_many(
+        self, params_list: list[AEDBParams]
+    ) -> list[BroadcastMetrics]:
+        """Batched evaluation through ONE pool fan-out.
+
+        All uncached configurations' per-network simulations are
+        flattened into a single ``pool.map``, so workers stay busy across
+        configuration boundaries (the per-configuration fan-out of
+        :meth:`evaluate` leaves them idle at every aggregation barrier).
+        Duplicate vectors within the batch simulate once.
+        """
+        plist = list(params_list)
+        out: list[BroadcastMetrics | None] = [None] * len(plist)
+        # Group indices by parameter vector — under the cache's rounded
+        # key when caching, so batch dedup agrees with the serial path's
+        # get_or_compute keying — and resolve cache hits up front.
+        todo: dict[tuple[float, ...], list[int]] = {}
+        for i, params in enumerate(plist):
+            arr = params.as_array()
+            cached = self.cache.get(arr) if self.cache is not None else None
+            if cached is not None:
+                assert isinstance(cached, BroadcastMetrics)
+                out[i] = cached
+            else:
+                key = (
+                    self.cache.key_for(arr)
+                    if self.cache is not None
+                    else tuple(arr)
+                )
+                todo.setdefault(key, []).append(i)
+        if todo:
+            unique = [plist[indices[0]] for indices in todo.values()]
+            n_scen = len(self.scenarios)
+            pool = self._ensure_pool()
+            runs = list(
+                pool.map(
+                    _simulate_one,
+                    [s for _ in unique for s in self.scenarios],
+                    [p for p in unique for _ in range(n_scen)],
+                )
+            )
+            self.simulations_run += len(runs)
+            for j, indices in enumerate(todo.values()):
+                metrics = aggregate_metrics(runs[j * n_scen:(j + 1) * n_scen])
+                if self.cache is not None:
+                    self.cache.put(unique[j].as_array(), metrics)
+                for i in indices:
+                    out[i] = metrics
+        assert all(m is not None for m in out)
+        return out  # type: ignore[return-value]
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        if self._finalizer is not None:
+            self._finalizer()  # runs _shutdown_pool exactly once
+            self._finalizer = None
+        self._pool = None
 
     def __enter__(self) -> "ParallelNetworkSetEvaluator":
         return self

@@ -101,11 +101,14 @@ def make_tuning_problem(
     n_nodes: int | None = None,
     use_cache: bool = False,
     sim=None,
+    mobility_model: str = "random-walk",
 ) -> AEDBTuningProblem:
     """One-call construction of the paper's tuning problem.
 
     ``n_networks``/``n_nodes`` shrink the evaluation set for tests and
     quick benchmarks; defaults reproduce the paper's setting.
+    ``mobility_model`` selects the motion regime of the evaluation
+    networks (campaign sweeps tune beyond the paper's random walk).
     """
     evaluator = NetworkSetEvaluator.for_density(
         density_per_km2,
@@ -114,5 +117,6 @@ def make_tuning_problem(
         n_nodes=n_nodes,
         sim=sim,
         cache=EvaluationCache() if use_cache else None,
+        mobility_model=mobility_model,
     )
     return AEDBTuningProblem(evaluator)

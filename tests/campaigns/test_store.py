@@ -1,0 +1,112 @@
+"""ResultStore persistence, completeness detection, and resume census."""
+
+import json
+
+import pytest
+
+from repro.campaigns import CampaignSpec, ResultStore
+
+
+@pytest.fixture()
+def spec():
+    return CampaignSpec(
+        name="t", densities=(100,), n_seeds=2, n_networks=1, n_nodes=8
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "camp")
+
+
+def fake_records(n=2):
+    return [{"kind": "record", "index": i, "value": i * 1.5} for i in range(n)]
+
+
+class TestSpecPersistence:
+    def test_save_and_load(self, spec, store):
+        store.save_spec(spec)
+        assert store.load_spec() == spec
+
+    def test_save_is_idempotent(self, spec, store):
+        store.save_spec(spec)
+        store.save_spec(spec)
+
+    def test_conflicting_spec_rejected(self, spec, store):
+        store.save_spec(spec)
+        other = CampaignSpec(
+            name="other", densities=(300,), n_seeds=1, n_networks=1
+        )
+        with pytest.raises(ValueError):
+            store.save_spec(other)
+
+    def test_load_without_spec_raises(self, store):
+        with pytest.raises(FileNotFoundError):
+            store.load_spec()
+
+
+class TestCellFiles:
+    def test_write_read_roundtrip(self, spec, store):
+        cell = spec.cells()[0]
+        store.save_spec(spec)
+        store.write_cell(cell, fake_records())
+        assert store.is_complete(cell)
+        records = store.read_cell(cell)
+        assert [r["index"] for r in records] == [0, 1]
+
+    def test_missing_cell_is_incomplete(self, spec, store):
+        assert not store.is_complete(spec.cells()[0])
+
+    def test_truncated_file_is_incomplete(self, spec, store):
+        cell = spec.cells()[0]
+        store.save_spec(spec)
+        store.write_cell(cell, fake_records())
+        path = store.cell_path(cell)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the done marker
+        assert not store.is_complete(cell)
+        with pytest.raises(FileNotFoundError):
+            store.read_cell(cell)
+
+    def test_corrupt_tail_is_incomplete(self, spec, store):
+        cell = spec.cells()[0]
+        store.save_spec(spec)
+        store.write_cell(cell, fake_records())
+        path = store.cell_path(cell)
+        path.write_text(path.read_text() + "{not json\n")
+        assert not store.is_complete(cell)
+
+    def test_delete_cell(self, spec, store):
+        cell = spec.cells()[0]
+        store.save_spec(spec)
+        store.write_cell(cell, fake_records())
+        store.delete_cell(cell)
+        assert not store.is_complete(cell)
+        store.delete_cell(cell)  # idempotent
+
+    def test_file_is_canonical_jsonl(self, spec, store):
+        cell = spec.cells()[0]
+        store.save_spec(spec)
+        store.write_cell(cell, fake_records(1))
+        lines = store.cell_path(cell).read_text().splitlines()
+        head = json.loads(lines[0])
+        assert head["kind"] == "cell" and head["key"] == cell.key
+        assert json.loads(lines[-1])["kind"] == "done"
+
+
+class TestCensus:
+    def test_status_counts(self, spec, store):
+        store.save_spec(spec)
+        cells = spec.cells()
+        assert store.status(spec).pending == len(cells)
+        store.write_cell(cells[0], fake_records())
+        status = store.status(spec)
+        assert (status.total, status.complete, status.pending) == (2, 1, 1)
+        assert not status.is_complete
+
+    def test_pending_and_completed_partition(self, spec, store):
+        store.save_spec(spec)
+        cells = spec.cells()
+        store.write_cell(cells[1], fake_records())
+        assert store.completed_cells(spec) == [cells[1]]
+        assert store.pending_cells(spec) == [cells[0]]

@@ -36,6 +36,26 @@ class TestParser:
         assert args.command == "protocols"
         assert args.density == 200
 
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_campaign_run_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "--out", "x", "--densities", "100,300",
+             "--mobility", "random-walk,gauss-markov", "--seeds", "3",
+             "--serial"]
+        )
+        assert args.command == "campaign"
+        assert args.campaign_command == "run"
+        assert args.densities == "100,300"
+        assert args.seeds == 3
+        assert args.serial
+
+    def test_campaign_status_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "status"])
+
 
 class TestCommands:
     def test_simulate_runs(self, capsys):
@@ -98,6 +118,65 @@ class TestSensitivityCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "Figure 2" in out and "Table I" in out
+
+
+class TestCampaignCommand:
+    def run_args(self, out):
+        # The acceptance grid: 2 densities x 2 mobility models x 3 seeds
+        # = 12 cells, shrunk to 8-node single-network sets for speed.
+        return [
+            "campaign", "run", "--out", str(out),
+            "--densities", "100,300",
+            "--mobility", "random-walk,random-waypoint",
+            "--seeds", "3", "--networks", "1", "--nodes", "8",
+            "--workers", "2",
+        ]
+
+    def test_run_status_report_resume(self, capsys, tmp_path):
+        out = tmp_path / "camp"
+        assert main(self.run_args(out)) == 0
+        text = capsys.readouterr().out
+        assert "12 cells executed" in text
+        assert "12/12 cells complete" in text
+
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        assert "12/12 cells complete" in capsys.readouterr().out
+
+        assert main(["campaign", "report", "--out", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "random-waypoint" in report and "evaluate" in report
+
+        # Delete one cell's results: only that cell re-runs.
+        from repro.campaigns import CampaignSpec, ResultStore
+
+        store = ResultStore(out)
+        spec = store.load_spec()
+        store.delete_cell(spec.cells()[5])
+        assert main(self.run_args(out)) == 0
+        text = capsys.readouterr().out
+        assert "1 cells executed" in text
+        assert "11 already complete" in text
+
+    def test_status_without_campaign_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["campaign", "status", "--out", str(tmp_path / "nope")])
+
+    def test_run_from_spec_file(self, capsys, tmp_path):
+        from repro.campaigns import CampaignSpec
+
+        spec = CampaignSpec(
+            name="from-file", densities=(100,), n_seeds=2,
+            n_networks=1, n_nodes=8,
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        out = tmp_path / "camp"
+        code = main(
+            ["campaign", "run", "--out", str(out),
+             "--spec", str(spec_path), "--serial"]
+        )
+        assert code == 0
+        assert "'from-file'" in capsys.readouterr().out
 
 
 class TestProtocolsCommand:

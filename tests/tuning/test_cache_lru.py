@@ -1,0 +1,72 @@
+"""EvaluationCache LRU semantics and stats."""
+
+import numpy as np
+
+from repro.tuning import EvaluationCache
+
+
+def vec(x):
+    return np.array([x, 0.0, 0.0])
+
+
+class TestLRUEviction:
+    def test_evicts_oldest_not_arbitrary(self):
+        cache = EvaluationCache(max_entries=3)
+        for i in range(3):
+            cache.put(vec(i), f"p{i}")
+        cache.put(vec(3), "p3")  # evicts vec(0)
+        assert cache.get(vec(0)) is None
+        assert cache.get(vec(1)) == "p1"
+        assert len(cache) == 3
+        assert cache.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        cache = EvaluationCache(max_entries=3)
+        for i in range(3):
+            cache.put(vec(i), f"p{i}")
+        assert cache.get(vec(0)) == "p0"  # move-to-end: 0 is now newest
+        cache.put(vec(3), "p3")  # evicts vec(1), the actual LRU
+        assert cache.get(vec(1)) is None
+        assert cache.get(vec(0)) == "p0"
+
+    def test_put_refresh_does_not_evict(self):
+        cache = EvaluationCache(max_entries=2)
+        cache.put(vec(0), "a")
+        cache.put(vec(1), "b")
+        cache.put(vec(0), "a2")  # refresh, not insert
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get(vec(0)) == "a2"
+        assert cache.get(vec(1)) == "b"
+
+
+class TestStats:
+    def test_stats_dict(self):
+        cache = EvaluationCache(max_entries=2)
+        cache.get_or_compute(vec(1), lambda: "x")
+        cache.get_or_compute(vec(1), lambda: "never")
+        cache.get_or_compute(vec(2), lambda: "y")
+        cache.get_or_compute(vec(3), lambda: "z")  # evicts vec(1)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 3
+        assert stats["evictions"] == 1
+        assert stats["size"] == 2
+        assert stats["max_entries"] == 2
+        assert 0.0 < stats["hit_rate"] < 1.0
+
+    def test_clear_resets_counters(self):
+        cache = EvaluationCache()
+        cache.get_or_compute(vec(1), lambda: "x")
+        cache.get(vec(1))
+        cache.clear()
+        stats = cache.stats()
+        assert stats == {
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0,
+            "max_entries": cache.max_entries, "hit_rate": 0.0,
+        }
+
+    def test_rounding_still_keys(self):
+        cache = EvaluationCache(decimals=3)
+        cache.put(np.array([0.12345678]), "v")
+        assert cache.get(np.array([0.1234999])) == "v"

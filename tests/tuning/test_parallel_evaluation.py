@@ -36,6 +36,71 @@ class TestEquivalence:
             assert parallel.simulations_run == 2 * len(tiny_scenarios)
 
 
+class TestEvaluateMany:
+    def test_matches_serial_loop(self, tiny_scenarios, params):
+        batch = [
+            AEDBParams(0.0, 0.5, border, 1.0, 10.0)
+            for border in (-94.0, -85.0, -72.0)
+        ]
+        serial = NetworkSetEvaluator(list(tiny_scenarios))
+        expected = serial.evaluate_many(batch)
+        with ParallelNetworkSetEvaluator(
+            list(tiny_scenarios), max_workers=2
+        ) as parallel:
+            assert parallel.evaluate_many(batch) == expected
+
+    def test_batch_uses_one_pool_fanout_and_dedupes(self, tiny_scenarios):
+        a = AEDBParams(0.0, 0.5, -90.0, 1.0, 10.0)
+        b = AEDBParams(0.0, 0.5, -80.0, 1.0, 10.0)
+        with ParallelNetworkSetEvaluator(
+            list(tiny_scenarios), max_workers=2
+        ) as parallel:
+            out = parallel.evaluate_many([a, b, a])
+            # Duplicate vector simulated once: 2 unique x n scenarios.
+            assert parallel.simulations_run == 2 * len(tiny_scenarios)
+            assert out[0] == out[2]
+
+    def test_batch_respects_cache(self, tiny_scenarios, params):
+        from repro.tuning import EvaluationCache
+
+        cache = EvaluationCache()
+        with ParallelNetworkSetEvaluator(
+            list(tiny_scenarios), cache=cache, max_workers=2
+        ) as parallel:
+            first = parallel.evaluate_many([params])
+            again = parallel.evaluate_many([params])
+            assert again == first
+            assert parallel.simulations_run == len(tiny_scenarios)
+            assert cache.stats()["hits"] == 1
+
+    def test_batch_dedup_uses_the_cache_key(self, tiny_scenarios):
+        """Vectors equal after cache rounding group together, matching
+        the serial path's get_or_compute keying."""
+        from repro.tuning import EvaluationCache
+
+        a = AEDBParams(0.0, 0.5, -90.0, 1.0, 10.0)
+        b = AEDBParams(0.0, 0.5, -90.0 + 1e-12, 1.0, 10.0)
+        with ParallelNetworkSetEvaluator(
+            list(tiny_scenarios), cache=EvaluationCache(), max_workers=2
+        ) as parallel:
+            out = parallel.evaluate_many([a, b])
+            assert parallel.simulations_run == len(tiny_scenarios)
+            assert out[0] is out[1]
+
+    def test_empty_batch(self, tiny_scenarios):
+        with ParallelNetworkSetEvaluator(list(tiny_scenarios)) as parallel:
+            assert parallel.evaluate_many([]) == []
+
+    def test_pool_is_reused_across_batches(self, tiny_scenarios, params):
+        with ParallelNetworkSetEvaluator(
+            list(tiny_scenarios), max_workers=2
+        ) as parallel:
+            parallel.evaluate_many([params])
+            pool = parallel._pool
+            parallel.evaluate_many([params, params])
+            assert parallel._pool is pool
+
+
 class TestLifecycle:
     def test_close_is_idempotent(self, tiny_scenarios, params):
         parallel = ParallelNetworkSetEvaluator(list(tiny_scenarios))
@@ -54,6 +119,26 @@ class TestLifecycle:
     def test_rejects_bad_worker_count(self, tiny_scenarios):
         with pytest.raises(ValueError):
             ParallelNetworkSetEvaluator(list(tiny_scenarios), max_workers=0)
+
+    def test_finalizer_guards_unclosed_pool(self, tiny_scenarios, params):
+        """An unclosed evaluator's pool is reclaimed by its finalizer
+        (GC / interpreter exit) instead of orphaning workers."""
+        evaluator = ParallelNetworkSetEvaluator(
+            list(tiny_scenarios), max_workers=2
+        )
+        evaluator.evaluate(params)
+        finalizer = evaluator._finalizer
+        assert finalizer is not None and finalizer.alive
+        del evaluator  # collection triggers the pool shutdown
+        assert not finalizer.alive
+
+    def test_close_detaches_finalizer(self, tiny_scenarios, params):
+        evaluator = ParallelNetworkSetEvaluator(list(tiny_scenarios))
+        evaluator.evaluate(params)
+        finalizer = evaluator._finalizer
+        evaluator.close()
+        assert not finalizer.alive
+        assert evaluator._finalizer is None
 
 
 class TestWithProblem:
