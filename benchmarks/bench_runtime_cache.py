@@ -1,0 +1,200 @@
+"""Microbenchmark of the scenario runtime cache (DESIGN.md §8).
+
+Measures what the cache is for: the cost of evaluating *another*
+configuration on scenarios whose parameter-independent substrate is
+already precomputed (warm) versus recomputing it per call (the pre-cache
+behaviour, reproduced by running the simulators without a runtime).  At
+full scale it writes a machine-readable perf record to
+``BENCH_PR2.json`` at the repo root; quick (CI smoke) runs only assert
+that the cache wins and leave the committed record untouched.
+
+The recorded baseline is the runtime-disabled path of the *current*
+code, which is already faster than the pre-cache seed (frame resolution
+was vectorised in the same change), so the recorded speedups are
+conservative with respect to the true before/after.
+
+Scale: ``REPRO_SCALE=quick`` (CI smoke) uses fewer networks and rounds;
+any other value runs the full paper-shaped measurement.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.manet import AEDBParams, clear_runtime_cache
+from repro.manet.scenarios import clear_mobility_cache
+from repro.tuning import NetworkSetEvaluator
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+
+PARAM_SETS = [
+    AEDBParams(),
+    AEDBParams(
+        min_delay_s=0.1,
+        max_delay_s=0.4,
+        border_threshold_dbm=-78.0,
+        margin_threshold_db=0.3,
+        neighbors_threshold=3.0,
+    ),
+    AEDBParams(
+        min_delay_s=0.9,
+        max_delay_s=4.5,
+        border_threshold_dbm=-95.0,
+        margin_threshold_db=3.0,
+        neighbors_threshold=45.0,
+    ),
+]
+
+
+def _timed_warm_eval(evaluator) -> float:
+    """Mean per-evaluation cost of one evaluate_many pass."""
+    t0 = time.perf_counter()
+    evaluator.evaluate_many(PARAM_SETS)
+    return (time.perf_counter() - t0) / len(PARAM_SETS)
+
+
+def _timed_baseline_eval(scenarios) -> float:
+    """Per-evaluation cost of the recompute path (no runtime).
+
+    Replicates the pre-cache ``_simulate_all`` loop verbatim: every
+    simulation rebuilds the whole substrate.
+    """
+    from repro.manet.metrics import aggregate_metrics
+    from repro.manet.simulator import BroadcastSimulator
+
+    t0 = time.perf_counter()
+    for params in PARAM_SETS:
+        aggregate_metrics(
+            [BroadcastSimulator(s, params).run() for s in scenarios]
+        )
+    return (time.perf_counter() - t0) / len(PARAM_SETS)
+
+
+def _baseline_vs_warm(evaluator, rounds: int) -> tuple[float, float]:
+    """Best-of-``rounds`` (baseline, warm) per-evaluation costs.
+
+    Baseline and warm rounds are *interleaved* so clock drift, thermal
+    throttling, and background load hit both sides alike — the ratio is
+    what matters.
+    """
+    baseline = warm = float("inf")
+    for _ in range(rounds):
+        baseline = min(baseline, _timed_baseline_eval(evaluator.scenarios))
+        warm = min(warm, _timed_warm_eval(evaluator))
+    return baseline, warm
+
+
+def test_runtime_cache_speedup(emit):
+    quick = os.environ.get("REPRO_SCALE", "quick") == "quick"
+    n_networks = 4 if quick else 10
+    rounds = 5 if quick else 11
+    densities = (100, 300) if quick else (100, 200, 300)
+
+    record = {
+        "benchmark": "runtime_cache",
+        "scale": "quick" if quick else "full",
+        "n_networks": n_networks,
+        "param_sets_per_eval": len(PARAM_SETS),
+        "baseline": (
+            "per-call substrate recompute (the pre-cache _simulate_all "
+            "loop, runtime=None); conservative: resolution vectorisation "
+            "already sped this path up relative to the pre-cache seed"
+        ),
+        "densities": {},
+    }
+    emit()
+    emit(
+        f"Runtime-cache benchmark — {n_networks} networks/evaluation, "
+        f"best of {rounds} rounds"
+    )
+    emit(
+        f"  {'density':>8s} {'baseline':>12s} {'cold-first':>12s} "
+        f"{'warm':>12s} {'speedup':>8s} {'sims/s':>8s}"
+    )
+    for density in densities:
+        evaluator = NetworkSetEvaluator.for_density(
+            density, n_networks=n_networks
+        )
+        for s in evaluator.scenarios:  # warm the mobility memo only
+            s.build_mobility()
+
+        # Cold: the first evaluation pays the runtime precompute.
+        clear_runtime_cache()
+        t0 = time.perf_counter()
+        evaluator.evaluate_many([PARAM_SETS[0]])
+        cold_first = time.perf_counter() - t0
+
+        # Baseline (recompute path) vs warm (cached substrate),
+        # interleaved round by round.
+        baseline, warm = _baseline_vs_warm(evaluator, rounds)
+        speedup = baseline / warm
+        sims_per_sec = n_networks / warm
+        record["densities"][str(density)] = {
+            "baseline_per_eval_s": baseline,
+            "cold_first_eval_s": cold_first,
+            "warm_per_eval_s": warm,
+            "speedup_warm_vs_baseline": speedup,
+            "cold_overhead_vs_baseline": cold_first / baseline,
+            "sims_per_sec_warm": sims_per_sec,
+        }
+        emit(
+            f"  {density:>8d} {baseline * 1e3:>10.2f}ms "
+            f"{cold_first * 1e3:>10.2f}ms {warm * 1e3:>10.2f}ms "
+            f"{speedup:>7.2f}x {sims_per_sec:>8.0f}"
+        )
+
+        # The cache must never lose: warm strictly cheaper than the
+        # recompute path (best-of interleaved rounds, so a scheduling
+        # hiccup cannot flip the comparison).  Cold is a single unpaired
+        # sample — recorded, and bounded only at full scale where the
+        # machine is expected to be quiet.
+        assert warm < baseline
+        if not quick:
+            assert cold_first < baseline * 4.0
+
+    speedups = [
+        d["speedup_warm_vs_baseline"] for d in record["densities"].values()
+    ]
+    record["speedup_min"] = min(speedups)
+    record["speedup_max"] = max(speedups)
+    if quick:
+        # CI smoke: the warm<baseline asserts above are the gate.  No
+        # ratio floor (shared noisy runners, tiny networks) and no
+        # record file — a quick run must not clobber the committed
+        # full-scale BENCH_PR2.json.
+        emit("  (quick scale: record not written, no ratio floor)")
+        return
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    emit(f"  -> {RECORD_PATH.name} written")
+    assert record["speedup_min"] >= 3.0, record
+
+
+def test_runtime_build_cost(benchmark, emit):
+    """Constructing one runtime ~ the beacon cost of a single run."""
+    from repro.manet import ScenarioRuntime, make_scenarios
+
+    scenario = make_scenarios(300, n_networks=1)[0]
+    scenario.build_mobility()
+    runtime = benchmark(lambda: ScenarioRuntime(scenario))
+    assert runtime.n_beacon_rounds == len(runtime.beacon_times)
+
+
+def test_single_cold_run_no_regression(emit):
+    """A one-shot simulation without any cache stays as cheap as before.
+
+    Guards the `runtime=None` path: direct BroadcastSimulator use must
+    not silently pay for precomputation it cannot amortise.
+    """
+    from repro.manet import make_scenarios
+    from repro.manet.simulator import BroadcastSimulator
+
+    scenario = make_scenarios(300, n_networks=1)[0]
+    scenario.build_mobility()
+    clear_mobility_cache()  # cold: pay the trace build too, like a fresh process
+    t0 = time.perf_counter()
+    metrics = BroadcastSimulator(scenario, AEDBParams()).run()
+    cold = time.perf_counter() - t0
+    emit(f"  single cold 75-node run (trace build included): {cold * 1e3:.2f} ms")
+    assert metrics.n_nodes == scenario.n_nodes
+    assert cold < 2.0  # seconds; catastrophic-regression guard only

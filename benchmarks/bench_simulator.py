@@ -47,13 +47,41 @@ def test_beacon_round_75_nodes(benchmark, emit):
 
 
 def test_full_evaluation_10_networks(benchmark, emit):
+    """Per-call recompute cost of one full evaluation (no runtime cache).
+
+    Memoisation is disabled for the duration so every round measures the
+    cold substrate path — otherwise the first round would populate the
+    process-global runtime LRU and the rest would silently measure the
+    warm path (that cost is ``test_warm_runtime_evaluation``'s job).
+    """
+    from repro.manet import set_runtime_memoisation
+
     evaluator = NetworkSetEvaluator.for_density(100, n_networks=10)
 
-    def evaluate():
-        return evaluator.evaluate(PARAMS)
-
-    metrics = benchmark(evaluate)
+    set_runtime_memoisation(False)
+    try:
+        metrics = benchmark(lambda: evaluator.evaluate(PARAMS))
+    finally:
+        set_runtime_memoisation(True)
     assert metrics.n_nodes == 25
+
+
+@pytest.mark.parametrize("density", [100, 300])
+def test_warm_runtime_evaluation(benchmark, density, emit):
+    """Evaluation cost once the scenario runtimes are precomputed.
+
+    This is the steady-state cost an optimiser pays from evaluation #2
+    onward; contrast with ``test_full_evaluation_10_networks`` (per-call
+    recompute) and see ``bench_runtime_cache.py`` for the recorded ratio.
+    """
+    from repro.manet import get_runtime
+
+    evaluator = NetworkSetEvaluator.for_density(density, n_networks=10)
+    for s in evaluator.scenarios:
+        get_runtime(s)  # precompute outside the timed region
+
+    metrics = benchmark(lambda: evaluator.evaluate(PARAMS))
+    assert metrics.n_nodes == evaluator.n_nodes
 
 
 @pytest.mark.parametrize("density", [100, 300])

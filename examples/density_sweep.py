@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core import AEDBMLS, MLSConfig
 from repro.manet.metrics import aggregate_metrics
+from repro.manet.runtime import get_runtime
 from repro.manet.scenarios import make_scenarios
 from repro.manet.simulator import BroadcastSimulator
 from repro.tuning import make_tuning_problem
@@ -42,7 +43,10 @@ def main() -> None:
     for density in (100, 200, 300):
         scenarios = make_scenarios(density, n_networks=3)
         metrics = aggregate_metrics(
-            [BroadcastSimulator(s, params).run() for s in scenarios]
+            [
+                BroadcastSimulator(s, params, runtime=get_runtime(s)).run()
+                for s in scenarios
+            ]
         )
         print(
             f"{density:>8d} {scenarios[0].n_nodes:>6d} "

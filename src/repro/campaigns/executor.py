@@ -38,6 +38,7 @@ from repro.campaigns.spec import EVALUATE, CampaignCell, CampaignSpec
 from repro.campaigns.store import ResultStore
 from repro.manet.aedb import AEDBParams
 from repro.manet.metrics import BroadcastMetrics, aggregate_metrics
+from repro.manet.runtime import get_runtime
 from repro.manet.scenarios import NetworkScenario
 from repro.manet.simulator import BroadcastSimulator
 
@@ -71,9 +72,18 @@ class _TuneJob:
 
 
 def _execute_job(job):
-    """Worker entry point: one simulation or one optimiser run."""
+    """Worker entry point: one simulation or one optimiser run.
+
+    Simulation jobs resolve their scenario's shared
+    :class:`~repro.manet.runtime.ScenarioRuntime` from the worker's
+    per-process LRU, so cells that reference the same scenario — within a
+    campaign or across param-sweep cells — share one precomputed beacon
+    grid per worker instead of recomputing it per simulation.
+    """
     if isinstance(job, _SimJob):
-        return BroadcastSimulator(job.scenario, job.params).run()
+        return BroadcastSimulator(
+            job.scenario, job.params, runtime=get_runtime(job.scenario)
+        ).run()
     return _run_tune_job(job)
 
 

@@ -19,7 +19,11 @@ configuration the way the paper does with ns3:
   experiment and extracts the four metrics (coverage, energy, forwardings,
   broadcast time);
 * :mod:`repro.manet.scenarios` — the fixed evaluation networks (10 per
-  density, as in the paper).
+  density, as in the paper);
+* :mod:`repro.manet.runtime` — the per-scenario cache of the
+  parameter-independent substrate (beacon-table timeline, position
+  snapshots, path-loss model) that makes repeated evaluations on the
+  same network skip the whole beacon cost.
 """
 
 from repro.manet.aedb import AEDBParams
@@ -35,6 +39,13 @@ from repro.manet.scenarios import (
     make_scenarios,
     nodes_for_density,
 )
+from repro.manet.runtime import (
+    ScenarioRuntime,
+    clear_runtime_cache,
+    get_runtime,
+    runtime_cache_size,
+    set_runtime_memoisation,
+)
 from repro.manet.simulator import BroadcastSimulator, simulate_broadcast
 
 __all__ = [
@@ -49,4 +60,9 @@ __all__ = [
     "make_scenarios",
     "nodes_for_density",
     "MOBILITY_MODELS",
+    "ScenarioRuntime",
+    "get_runtime",
+    "set_runtime_memoisation",
+    "clear_runtime_cache",
+    "runtime_cache_size",
 ]

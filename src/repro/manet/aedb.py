@@ -150,6 +150,7 @@ class AEDBProtocol:
         transmit: TransmitFn,
         rng: np.random.Generator | int | None = None,
         mac_jitter_s: float = 0.0005,
+        record_decisions: bool = True,
     ):
         self.params = params
         self.n_nodes = int(n_nodes)
@@ -157,7 +158,14 @@ class AEDBProtocol:
         self._tables = tables
         self._radio = radio
         self._transmit = transmit
-        self._rng = as_generator(rng)
+        # The protocol only ever draws uniforms, so any object with a
+        # Generator-compatible ``uniform`` is accepted — in particular
+        # the runtime's precomputed replay stream
+        # (:class:`repro.manet.runtime.UniformStream`).
+        if callable(getattr(rng, "uniform", None)):
+            self._rng = rng
+        else:
+            self._rng = as_generator(rng)
         self._mac_jitter_s = float(mac_jitter_s)
 
         self.state = [AEDBNodeState.IDLE] * n_nodes
@@ -165,10 +173,15 @@ class AEDBProtocol:
         self.strongest_copy_dbm = np.full(n_nodes, -np.inf)
         #: Time of first successful reception per node (NaN = never).
         self.first_rx_time = np.full(n_nodes, np.nan)
-        #: Nodes this node heard the message *from* (they already have it).
-        self._heard_from: list[set[int]] = [set() for _ in range(n_nodes)]
+        #: ``[i, j]`` — node ``i`` heard the message *from* node ``j``
+        #: (``j`` already has it).  A boolean matrix so the power
+        #: selection can mask candidates without a per-id Python scan.
+        self._heard_from = np.zeros((n_nodes, n_nodes), dtype=bool)
         self._timers: list[EventHandle | None] = [None] * n_nodes
-        #: Decision log, for tests and diagnostics.
+        self._record_decisions = bool(record_decisions)
+        #: Decision log, for tests and diagnostics (empty when
+        #: ``record_decisions=False`` — the per-event formatting is
+        #: measurable in tight evaluation loops).
         self.decisions: list[tuple[float, int, str]] = []
 
     # ------------------------------------------------------------------ #
@@ -180,7 +193,8 @@ class AEDBProtocol:
             raise ValueError(f"source {source} out of range")
         self.state[source] = AEDBNodeState.FORWARDED
         self.first_rx_time[source] = time_s
-        self.decisions.append((time_s, source, "source"))
+        if self._record_decisions:
+            self.decisions.append((time_s, source, "source"))
         self._transmit(source, self._radio.default_tx_power_dbm, time_s)
 
     # ------------------------------------------------------------------ #
@@ -188,7 +202,7 @@ class AEDBProtocol:
     # ------------------------------------------------------------------ #
     def on_receive(self, node: int, sender: int, rx_power_dbm: float, time_s: float) -> None:
         """Radio delivered a copy of the message to ``node``."""
-        self._heard_from[node].add(sender)
+        self._heard_from[node, sender] = True
         state = self.state[node]
 
         if state is AEDBNodeState.IDLE:
@@ -197,7 +211,8 @@ class AEDBProtocol:
             if rx_power_dbm > self.params.border_threshold_dbm:
                 # Transmitter too close: outside the forwarding area.
                 self.state[node] = AEDBNodeState.DROPPED
-                self.decisions.append((time_s, node, "drop:border-first"))
+                if self._record_decisions:
+                    self.decisions.append((time_s, node, "drop:border-first"))
                 return
             self.state[node] = AEDBNodeState.WAITING
             lo, hi = self.params.delay_interval
@@ -205,7 +220,8 @@ class AEDBProtocol:
             self._timers[node] = self._queue.schedule(
                 time_s + delay, lambda t, n=node: self._on_timer(n, t)
             )
-            self.decisions.append((time_s, node, f"arm:{delay:.4f}"))
+            if self._record_decisions:
+                self.decisions.append((time_s, node, f"arm:{delay:.4f}"))
         elif state is AEDBNodeState.WAITING:
             # Fig. 1 line 12: track the closest transmitter heard so far.
             if rx_power_dbm > self.strongest_copy_dbm[node]:
@@ -222,11 +238,13 @@ class AEDBProtocol:
         if self.strongest_copy_dbm[node] > self.params.border_threshold_dbm:
             # A transmitter got too close while we were waiting.
             self.state[node] = AEDBNodeState.DROPPED
-            self.decisions.append((time_s, node, "drop:border-timer"))
+            if self._record_decisions:
+                self.decisions.append((time_s, node, "drop:border-timer"))
             return
         power = self._select_tx_power(node, time_s)
         self.state[node] = AEDBNodeState.FORWARDED
-        self.decisions.append((time_s, node, f"forward:{power:.2f}dBm"))
+        if self._record_decisions:
+            self.decisions.append((time_s, node, f"forward:{power:.2f}dBm"))
         jitter = (
             float(self._rng.uniform(0.0, self._mac_jitter_s))
             if self._mac_jitter_s > 0
@@ -248,7 +266,7 @@ class AEDBProtocol:
         in_forwarding_area = live & (
             neighbor_rx <= self.params.border_threshold_dbm
         )
-        pf_ids = np.flatnonzero(in_forwarding_area)
+        pf_ids = np.nonzero(in_forwarding_area)[0]
 
         required = self._radio.detection_threshold_dbm
 
@@ -260,11 +278,7 @@ class AEDBProtocol:
         else:
             # Sparse regime: reach the furthest neighbour, excluding nodes
             # the message was heard from (they already have it).
-            candidates = np.flatnonzero(live)
-            candidates = np.array(
-                [c for c in candidates if c not in self._heard_from[node]],
-                dtype=int,
-            )
+            candidates = np.nonzero(live & ~self._heard_from[node])[0]
             if candidates.size == 0:
                 # No usable neighbour knowledge: fall back to full power.
                 return self._radio.default_tx_power_dbm
@@ -273,9 +287,8 @@ class AEDBProtocol:
         loss = tables.link_loss_db(node, int(target))
         power = required + loss + self.params.margin_threshold_db
         return float(
-            np.clip(
-                power,
-                self._radio.min_tx_power_dbm,
+            min(
+                max(power, self._radio.min_tx_power_dbm),
                 self._radio.default_tx_power_dbm,
             )
         )

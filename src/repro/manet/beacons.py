@@ -12,9 +12,20 @@ per round (the HPC guide's "vectorise the hot loop").  Beacons are assumed
 collision-free — they are tiny, jittered in real systems, and the paper
 uses them only as a neighbour-discovery mechanism; this simplification is
 recorded in DESIGN.md §7.
+
+Beacon state is *parameter-independent*: every round sends at the default
+power on the fixed schedule, so the table timeline is a pure function of
+``(scenario, mobility)``.  When a
+:class:`~repro.manet.runtime.ScenarioRuntime` is supplied, rounds on the
+canonical grid restore the precomputed snapshot in O(1) instead of
+recomputing the O(n²) loss matrix; off-grid rounds fall back to the
+incremental update (copy-on-write off the read-only snapshot), which is
+bit-identical either way (DESIGN.md §8).
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +34,9 @@ from repro.manet.geometry import pairwise_distances
 from repro.manet.mobility import MobilityModel
 from repro.manet.propagation import build_path_loss
 from repro.utils.units import DBM_MINUS_INF
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.manet.runtime import ScenarioRuntime
 
 __all__ = ["NeighborTables"]
 
@@ -42,28 +56,90 @@ class NeighborTables:
         sim: SimulationConfig,
         mobility: MobilityModel,
         radio: RadioConfig | None = None,
+        runtime: "ScenarioRuntime | None" = None,
     ):
         if n_nodes <= 0:
             raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        if runtime is not None and radio is not None:
+            raise ValueError(
+                "pass either a runtime or an explicit radio, not both "
+                "(the runtime's snapshots are bound to the scenario's radio)"
+            )
+        if runtime is not None and runtime.scenario.n_nodes != n_nodes:
+            raise ValueError(
+                "runtime was precomputed for a different network size "
+                f"({runtime.scenario.n_nodes} != {n_nodes})"
+            )
+        if runtime is not None and mobility is not runtime.mobility:
+            raise ValueError(
+                "explicit mobility conflicts with the runtime's trace"
+            )
+        if runtime is not None and sim != runtime.sim:
+            raise ValueError(
+                "simulation config conflicts with the runtime's scenario"
+            )
         self.n_nodes = int(n_nodes)
         self._sim = sim
         self._radio = radio or sim.radio
         self._mobility = mobility
-        self._loss = build_path_loss(self._radio)
-        self.rx_power = np.full((n_nodes, n_nodes), DBM_MINUS_INF)
-        self.last_seen = np.full((n_nodes, n_nodes), -np.inf)
+        self._runtime = runtime
+        if runtime is not None:
+            self._loss = runtime.path_loss
+            # Shared read-only pristine state; beacon_round copies on
+            # write, and grid rounds just swap in snapshots.
+            self.rx_power, self.last_seen = runtime.initial_tables
+        else:
+            self._loss = build_path_loss(self._radio)
+            self.rx_power = np.full((n_nodes, n_nodes), DBM_MINUS_INF)
+            self.last_seen = np.full((n_nodes, n_nodes), -np.inf)
+        # Snapshots may be restored only while the tables replay the
+        # canonical timeline *in order from the start* — a restored
+        # snapshot embeds every earlier canonical round.  ``_next_tick``
+        # indexes the next expected canonical time; any other round
+        # (off-grid, skipped, or out of order) diverges for good and
+        # switches the instance to incremental-only updates.
+        self._next_tick: int | None = 0 if runtime is not None else None
         self.rounds_run = 0
 
     # ------------------------------------------------------------------ #
     # updates                                                            #
     # ------------------------------------------------------------------ #
     def beacon_round(self, time_s: float) -> None:
-        """Everyone beacons at default power; update all tables at once."""
-        positions = self._mobility.positions_at(time_s)
+        """Everyone beacons at default power; update all tables at once.
+
+        With a runtime, rounds that replay the canonical schedule in
+        order swap in the precomputed (read-only) snapshots; the first
+        round that deviates — off-grid, skipped, or out of order —
+        leaves the canonical timeline for good and every round from then
+        on recomputes incrementally (copying shared state before
+        writing), so the state sequence matches the runtime-less path
+        exactly for *any* call sequence.
+        """
+        if self._runtime is not None:
+            if self._next_tick is not None:
+                times = self._runtime.beacon_times
+                snapshot = (
+                    self._runtime.table_snapshot(time_s)
+                    if self._next_tick < len(times)
+                    and times[self._next_tick] == time_s
+                    else None
+                )
+                if snapshot is not None:
+                    self.rx_power, self.last_seen = snapshot
+                    self._next_tick += 1
+                    self.rounds_run += 1
+                    return
+                self._next_tick = None
+            positions = self._runtime.positions_at(time_s)
+        else:
+            positions = self._mobility.positions_at(time_s)
         dist = pairwise_distances(positions)
         rx = self._loss.rx_power_dbm(self._radio.default_tx_power_dbm, dist)
         heard = rx >= self._radio.detection_threshold_dbm
         np.fill_diagonal(heard, False)
+        if not self.rx_power.flags.writeable:
+            self.rx_power = self.rx_power.copy()
+            self.last_seen = self.last_seen.copy()
         self.rx_power[heard] = rx[heard]
         self.last_seen[heard] = time_s
         self.rounds_run += 1
@@ -73,15 +149,18 @@ class NeighborTables:
 
         Returns the number of rounds executed.  Used to warm tables up to
         the broadcast injection time without going through the event queue
-        (beacons never interact with data frames in this model).
+        (beacons never interact with data frames in this model).  Tick
+        times are indexed from integers (``start + k * interval``), never
+        accumulated, so long schedules cannot drift off the nominal grid.
         """
         interval = self._sim.beacon_interval_s
         count = 0
-        t = start_s
-        while t <= end_s + 1e-12:
+        while True:
+            t = start_s + count * interval
+            if t > end_s + 1e-12:
+                break
             self.beacon_round(t)
             count += 1
-            t += interval
         return count
 
     # ------------------------------------------------------------------ #

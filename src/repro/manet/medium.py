@@ -17,6 +17,13 @@ DESIGN.md §4/§7):
   frame-end timestamp and is irrelevant next to millisecond airtimes, so
   positions are sampled at the frame midpoint.
 
+Resolution is vectorised: the frame and all overlapping senders stack
+into one ``(k, n)`` distance/path-loss computation, and delivery
+candidates come from a single boolean mask instead of a per-receiver
+Python scan.  Energy and frame counts are running accumulators (O(1)
+readout); per-frame ``delivered_to`` lists are recorded only when
+``record_deliveries`` is requested.
+
 The medium knows nothing about AEDB: it reports per-receiver outcomes to a
 delivery callback.
 """
@@ -24,7 +31,7 @@ delivery callback.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -34,10 +41,13 @@ from repro.manet.mobility import MobilityModel
 from repro.manet.propagation import build_path_loss
 from repro.utils.units import dbm_to_mw
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.manet.runtime import ScenarioRuntime
+
 __all__ = ["Frame", "RadioMedium"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One in-flight broadcast data frame."""
 
@@ -47,7 +57,8 @@ class Frame:
     end_s: float
     #: Sequence number assigned by the medium (stable ordering).
     seq: int = 0
-    #: Receivers that successfully decoded this frame (filled at resolution).
+    #: Receivers that successfully decoded this frame.  Filled at
+    #: resolution only when the medium records deliveries.
     delivered_to: list[int] = field(default_factory=list)
 
     def overlaps(self, other: "Frame") -> bool:
@@ -56,7 +67,7 @@ class Frame:
 
 
 #: Delivery callback signature: (receiver, frame, rx_power_dbm, time_s).
-DeliveryCallback = Callable[[int, Frame, float, float], None]
+DeliveryCallback = Callable[[int, "Frame", float, float], None]
 
 
 class RadioMedium:
@@ -72,6 +83,13 @@ class RadioMedium:
         Physical-layer constants.
     on_delivery:
         Called once per (receiver, frame) successful decode.
+    runtime:
+        Optional :class:`~repro.manet.runtime.ScenarioRuntime`; shares its
+        path-loss model and memoised position snapshots (frame midpoints
+        that recur across same-scenario evaluations hit the memo).
+    record_deliveries:
+        Keep per-frame ``delivered_to`` lists.  Off by default — the
+        metrics never need them; tests and diagnostics opt in.
     """
 
     def __init__(
@@ -80,15 +98,40 @@ class RadioMedium:
         mobility: MobilityModel,
         radio: RadioConfig,
         on_delivery: DeliveryCallback,
+        runtime: "ScenarioRuntime | None" = None,
+        record_deliveries: bool = False,
     ):
+        if runtime is not None:
+            # The runtime's precomputed substrate is bound to its
+            # scenario's physics; mixing it with a different radio or
+            # trace would resolve frames with inconsistent models.
+            if radio != runtime.sim.radio:
+                raise ValueError(
+                    "radio config conflicts with the runtime's scenario"
+                )
+            if mobility is not runtime.mobility:
+                raise ValueError(
+                    "explicit mobility conflicts with the runtime's trace"
+                )
         self._queue = queue
         self._mobility = mobility
         self._radio = radio
-        self._loss = build_path_loss(radio)
+        self._runtime = runtime
+        self._loss = (
+            runtime.path_loss if runtime is not None else build_path_loss(radio)
+        )
         self._on_delivery = on_delivery
+        self._record_deliveries = bool(record_deliveries)
         self._active: list[Frame] = []
         self._recent: list[Frame] = []  # ended frames kept for overlap checks
         self._seq = 0
+        # Hot-loop constants and running accumulators (O(1) readout).
+        self._capture_lin = 10.0 ** (radio.capture_threshold_db / 10.0)
+        self._min_tx = float(radio.min_tx_power_dbm)
+        self._max_tx = float(radio.default_tx_power_dbm)
+        self._detection_dbm = float(radio.detection_threshold_dbm)
+        self._energy_dbm = 0.0
+        self._n_frames = 0
         #: All frames ever transmitted (for metrics/inspection).
         self.history: list[Frame] = []
 
@@ -97,13 +140,7 @@ class RadioMedium:
     # ------------------------------------------------------------------ #
     def transmit(self, sender: int, tx_power_dbm: float, time_s: float) -> Frame:
         """Start a frame at ``time_s``; resolution happens at frame end."""
-        power = float(
-            np.clip(
-                tx_power_dbm,
-                self._radio.min_tx_power_dbm,
-                self._radio.default_tx_power_dbm,
-            )
-        )
+        power = min(max(float(tx_power_dbm), self._min_tx), self._max_tx)
         frame = Frame(
             sender=sender,
             tx_power_dbm=power,
@@ -114,6 +151,8 @@ class RadioMedium:
         self._seq += 1
         self._active.append(frame)
         self.history.append(frame)
+        self._energy_dbm += power
+        self._n_frames += 1
         self._queue.schedule(frame.end_s, lambda t, f=frame: self._resolve(f, t))
         return frame
 
@@ -125,6 +164,11 @@ class RadioMedium:
         pool = self._active + self._recent
         return [f for f in pool if f is not frame and f.overlaps(frame)]
 
+    def _positions_at(self, time_s: float) -> np.ndarray:
+        if self._runtime is not None:
+            return self._runtime.positions_at(time_s)
+        return self._mobility.positions_at(time_s)
+
     def _resolve(self, frame: Frame, time_s: float) -> None:
         """Frame-end event: decide which nodes decoded ``frame``."""
         self._active.remove(frame)
@@ -133,44 +177,52 @@ class RadioMedium:
         self._recent.append(frame)
         self._gc_recent(time_s)
 
-        positions = self._mobility.positions_at(
-            0.5 * (frame.start_s + frame.end_s)
-        )
-        n = positions.shape[0]
-        sender_pos = positions[frame.sender]
-        diff = positions - sender_pos[None, :]
-        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-        rx_dbm = self._loss.rx_power_dbm(frame.tx_power_dbm, dist)
-
+        positions = self._positions_at(0.5 * (frame.start_s + frame.end_s))
         overlap = self._overlapping(frame)
-        # Interference power sum per receiver, in mW.
-        interference_mw = np.zeros(n)
-        busy_tx = {frame.sender}
-        for other in overlap:
-            busy_tx.add(other.sender)
-            other_pos = positions[other.sender]
-            odiff = positions - other_pos[None, :]
-            odist = np.sqrt(np.einsum("ij,ij->i", odiff, odiff))
-            interference_mw += dbm_to_mw(
-                self._loss.rx_power_dbm(other.tx_power_dbm, odist)
-            )
 
-        detect = rx_dbm >= self._radio.detection_threshold_dbm
-        signal_mw = dbm_to_mw(rx_dbm)
-        capture_lin = 10.0 ** (self._radio.capture_threshold_db / 10.0)
-        with np.errstate(divide="ignore"):
+        if overlap:
+            # One stacked (k, n) distance/path-loss computation for the
+            # frame and every overlapping sender (row 0 is the frame).
+            senders = [frame.sender] + [other.sender for other in overlap]
+            powers = np.array(
+                [frame.tx_power_dbm] + [other.tx_power_dbm for other in overlap]
+            )
+            diff = positions[None, :, :] - positions[senders][:, None, :]
+            dist = np.sqrt(np.einsum("kij,kij->ki", diff, diff))
+            rx_all = self._loss.rx_power_dbm(powers[:, None], dist)
+            rx_dbm = rx_all[0]
+            # Interference power sum per receiver, in mW.  Rows accumulate
+            # sequentially in overlap order (bit-stable summation).
+            interference_mw = np.zeros(positions.shape[0])
+            for row in rx_all[1:]:
+                interference_mw += dbm_to_mw(row)
+            signal_mw = dbm_to_mw(rx_dbm)
             clear = np.where(
                 interference_mw > 0.0,
-                signal_mw >= capture_lin * interference_mw,
+                signal_mw >= self._capture_lin * interference_mw,
                 True,
             )
+            eligible = (rx_dbm >= self._detection_dbm) & clear
+            eligible[senders] = False  # half duplex / own frame
+        else:
+            # Clean channel (the common case): zero interference always
+            # clears capture, so only detection and half-duplex matter.
+            diff = positions - positions[frame.sender]
+            dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            rx_dbm = self._loss.rx_power_dbm(frame.tx_power_dbm, dist)
+            eligible = rx_dbm >= self._detection_dbm
+            eligible[frame.sender] = False
 
-        for receiver in range(n):
-            if receiver in busy_tx:
-                continue  # half duplex / own frame
-            if detect[receiver] and clear[receiver]:
-                frame.delivered_to.append(receiver)
-                self._on_delivery(receiver, frame, float(rx_dbm[receiver]), time_s)
+        receivers = np.nonzero(eligible)[0]
+        if receivers.size == 0:
+            return
+        record = self._record_deliveries
+        on_delivery = self._on_delivery
+        rx_list = rx_dbm.tolist()  # exact python floats, one conversion
+        for r in receivers.tolist():
+            if record:
+                frame.delivered_to.append(r)
+            on_delivery(r, frame, rx_list[r], time_s)
 
     def _gc_recent(self, time_s: float) -> None:
         """Drop ended frames that can no longer overlap anything new."""
@@ -183,8 +235,11 @@ class RadioMedium:
     @property
     def transmission_count(self) -> int:
         """Total frames ever put on the air."""
-        return len(self.history)
+        return self._n_frames
 
     def energy_dbm_total(self) -> float:
-        """Sum of TX powers in raw dBm — the paper's energy objective."""
-        return float(sum(f.tx_power_dbm for f in self.history))
+        """Sum of TX powers in raw dBm — the paper's energy objective.
+
+        O(1): accumulated at transmit time in ``history`` append order.
+        """
+        return self._energy_dbm

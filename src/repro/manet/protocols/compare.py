@@ -30,6 +30,7 @@ from repro.manet.protocols.runner import (
     aedb_protocol,
     simulate_protocol,
 )
+from repro.manet.runtime import get_runtime
 from repro.manet.scenarios import NetworkScenario
 
 __all__ = [
@@ -170,7 +171,11 @@ def compare_protocols(
     for name, factory in suite.items():
         outcome = ProtocolOutcome(name=name)
         for scenario in scenarios:
-            outcome.per_network.append(simulate_protocol(scenario, factory))
+            # Every protocol of the suite shares one precomputed runtime
+            # per scenario (beacons are protocol-independent).
+            outcome.per_network.append(
+                simulate_protocol(scenario, factory, runtime=get_runtime(scenario))
+            )
         comparison.outcomes[name] = outcome
     return comparison
 

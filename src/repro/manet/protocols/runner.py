@@ -11,6 +11,10 @@ makes like-for-like storm comparisons possible.
 
 Determinism matches the AEDB simulator: all randomness derives from the
 scenario seed, so a run is a pure function of ``(scenario, factory)``.
+A shared :class:`~repro.manet.runtime.ScenarioRuntime` swaps the
+parameter-independent substrate for its precomputed form exactly as in
+the AEDB simulator — baselines compared on the same scenario reuse one
+beacon grid.
 """
 
 from __future__ import annotations
@@ -27,6 +31,11 @@ from repro.manet.medium import Frame, RadioMedium
 from repro.manet.metrics import BroadcastMetrics
 from repro.manet.mobility import MobilityModel
 from repro.manet.protocols.base import ProtocolContext
+from repro.manet.runtime import (
+    ScenarioRuntime,
+    resolve_mobility,
+    run_beacon_schedule,
+)
 from repro.manet.scenarios import NetworkScenario
 
 __all__ = ["ProtocolFactory", "ProtocolSimulator", "simulate_protocol", "aedb_protocol"]
@@ -44,15 +53,12 @@ class ProtocolSimulator:
         factory: ProtocolFactory,
         protocol_seed: int | None = None,
         mobility: MobilityModel | None = None,
+        runtime: ScenarioRuntime | None = None,
     ):
         self.scenario = scenario
         self._sim: SimulationConfig = scenario.sim
-        self._mobility = mobility or scenario.build_mobility()
-        if self._mobility.n_nodes != scenario.n_nodes:
-            raise ValueError(
-                "mobility model size does not match scenario "
-                f"({self._mobility.n_nodes} != {scenario.n_nodes})"
-            )
+        self.runtime = runtime
+        self._mobility = resolve_mobility(scenario, mobility, runtime)
         seed = (
             protocol_seed
             if protocol_seed is not None
@@ -60,10 +66,11 @@ class ProtocolSimulator:
         )
         self.queue = EventQueue()
         self.tables = NeighborTables(
-            scenario.n_nodes, self._sim, self._mobility
+            scenario.n_nodes, self._sim, self._mobility, runtime=runtime
         )
         self.medium = RadioMedium(
-            self.queue, self._mobility, self._sim.radio, self._deliver
+            self.queue, self._mobility, self._sim.radio, self._deliver,
+            runtime=runtime,
         )
         ctx = ProtocolContext(
             n_nodes=scenario.n_nodes,
@@ -103,17 +110,7 @@ class ProtocolSimulator:
         self._ran = True
         sim = self._sim
 
-        first_relevant = max(
-            0.0, sim.warmup_s - sim.neighbor_expiry_s - sim.beacon_interval_s
-        )
-        first_tick = np.ceil(first_relevant / sim.beacon_interval_s)
-        self.tables.run_schedule(
-            first_tick * sim.beacon_interval_s, sim.warmup_s - 1e-9
-        )
-        t = sim.warmup_s
-        while t <= sim.horizon_s:
-            self.queue.schedule(t, self.tables.beacon_round)
-            t += sim.beacon_interval_s
+        run_beacon_schedule(sim, self.runtime, self.tables, self.queue)
 
         self.protocol.start_broadcast(self.scenario.source, sim.warmup_s)
         self.queue.run_until(sim.horizon_s)
@@ -131,7 +128,7 @@ class ProtocolSimulator:
         energy = self.medium.energy_dbm_total()
 
         if coverage > 0:
-            bt = float(np.nanmax(np.where(received_non_source, first_rx, np.nan)))
+            bt = float(np.max(first_rx[received_non_source]))
             broadcast_time = bt - sim.warmup_s
         else:
             broadcast_time = 0.0
@@ -149,9 +146,12 @@ def simulate_protocol(
     scenario: NetworkScenario,
     factory: ProtocolFactory,
     protocol_seed: int | None = None,
+    runtime: ScenarioRuntime | None = None,
 ) -> BroadcastMetrics:
     """Convenience wrapper: build, run, and return the metrics."""
-    return ProtocolSimulator(scenario, factory, protocol_seed=protocol_seed).run()
+    return ProtocolSimulator(
+        scenario, factory, protocol_seed=protocol_seed, runtime=runtime
+    ).run()
 
 
 def aedb_protocol(params: AEDBParams) -> ProtocolFactory:

@@ -12,6 +12,12 @@ One :class:`BroadcastSimulator` runs one AEDB configuration on one
 Determinism: all randomness (mobility, protocol delays, MAC jitter) is
 derived from the scenario seed, so ``run()`` is a pure function of
 ``(scenario, params)`` — the property the optimiser's fitness relies on.
+
+Passing a :class:`~repro.manet.runtime.ScenarioRuntime` swaps the
+parameter-independent substrate (beacon-table timeline, position
+snapshots, path-loss model) for its precomputed form: evaluation #2..#N
+of different parameters on the same network pays zero beacon cost, and
+the metrics are bit-identical to the recompute path (DESIGN.md §8).
 """
 
 from __future__ import annotations
@@ -25,6 +31,11 @@ from repro.manet.events import EventQueue
 from repro.manet.medium import Frame, RadioMedium
 from repro.manet.metrics import BroadcastMetrics
 from repro.manet.mobility import MobilityModel
+from repro.manet.runtime import (
+    ScenarioRuntime,
+    resolve_mobility,
+    run_beacon_schedule,
+)
 from repro.manet.scenarios import NetworkScenario
 
 __all__ = ["BroadcastSimulator", "simulate_broadcast"]
@@ -39,31 +50,38 @@ class BroadcastSimulator:
         params: AEDBParams,
         protocol_seed: int | None = None,
         mobility: MobilityModel | None = None,
+        runtime: ScenarioRuntime | None = None,
+        record_decisions: bool = False,
     ):
+        """``record_decisions`` opts into the protocol's per-event decision
+        log (off by default: evaluation loops never read it and the
+        per-event formatting is measurable)."""
         self.scenario = scenario
         self.params = params
         self._sim: SimulationConfig = scenario.sim
-        self._mobility = mobility or scenario.build_mobility()
-        if self._mobility.n_nodes != scenario.n_nodes:
-            raise ValueError(
-                "mobility model size does not match scenario "
-                f"({self._mobility.n_nodes} != {scenario.n_nodes})"
-            )
+        self.runtime = runtime
+        self._mobility = resolve_mobility(scenario, mobility, runtime)
         # Protocol randomness is keyed off the scenario so evaluation is a
-        # pure function of (scenario, params).
-        seed = (
-            protocol_seed
-            if protocol_seed is not None
-            else (scenario.mobility_seed ^ 0x5EDB) & 0xFFFFFFFF
-        )
-        self._protocol_rng = np.random.default_rng(seed)
+        # pure function of (scenario, params).  For the default seed the
+        # runtime replays the precomputed raw uniform stream (bit-identical
+        # draws, no per-run generator construction).
+        if runtime is not None and protocol_seed is None:
+            self._protocol_rng = runtime.protocol_uniform_stream()
+        else:
+            seed = (
+                protocol_seed
+                if protocol_seed is not None
+                else (scenario.mobility_seed ^ 0x5EDB) & 0xFFFFFFFF
+            )
+            self._protocol_rng = np.random.default_rng(seed)
 
         self.queue = EventQueue()
         self.tables = NeighborTables(
-            scenario.n_nodes, self._sim, self._mobility
+            scenario.n_nodes, self._sim, self._mobility, runtime=runtime
         )
         self.medium = RadioMedium(
-            self.queue, self._mobility, self._sim.radio, self._deliver
+            self.queue, self._mobility, self._sim.radio, self._deliver,
+            runtime=runtime,
         )
         self.protocol = AEDBProtocol(
             params=params,
@@ -74,6 +92,7 @@ class BroadcastSimulator:
             transmit=self._transmit,
             rng=self._protocol_rng,
             mac_jitter_s=self._sim.mac_jitter_s,
+            record_decisions=record_decisions,
         )
         self._ran = False
 
@@ -99,27 +118,13 @@ class BroadcastSimulator:
         self._ran = True
         sim = self._sim
 
-        # Warm-up: mobility evolves, beacons populate neighbour tables.
-        # Beacons never contend with data frames (DESIGN.md §7), so the
-        # warm-up rounds run directly instead of through the event queue.
-        # Entries older than ``neighbor_expiry_s`` at broadcast time can
-        # never influence a query, so the schedule starts just early
-        # enough to fully warm the tables (identical semantics, ~3x fewer
-        # pairwise-loss matrices).
-        first_relevant = max(
-            0.0, sim.warmup_s - sim.neighbor_expiry_s - sim.beacon_interval_s
-        )
-        # Align to the nominal 1 Hz grid that starts at t=0.
-        first_tick = np.ceil(first_relevant / sim.beacon_interval_s)
-        self.tables.run_schedule(
-            first_tick * sim.beacon_interval_s, sim.warmup_s - 1e-9
-        )
-
-        # Beacon rounds continue during the broadcast window.
-        t = sim.warmup_s
-        while t <= sim.horizon_s:
-            self.queue.schedule(t, self.tables.beacon_round)
-            t += sim.beacon_interval_s
+        # Warm-up and in-window beacons on the canonical integer-indexed
+        # grid (shared with ScenarioRuntime, so precomputed snapshots and
+        # the live schedule agree exactly).  The grid starts just early
+        # enough to fully warm the tables: entries older than
+        # ``neighbor_expiry_s`` at broadcast time can never influence a
+        # query (identical semantics, ~3x fewer pairwise-loss matrices).
+        run_beacon_schedule(sim, self.runtime, self.tables, self.queue)
 
         self.protocol.start_broadcast(self.scenario.source, sim.warmup_s)
         self.queue.run_until(sim.horizon_s)
@@ -138,7 +143,10 @@ class BroadcastSimulator:
         energy = self.medium.energy_dbm_total()
 
         if coverage > 0:
-            bt = float(np.nanmax(np.where(received_non_source, first_rx, np.nan)))
+            # Last first-reception among receivers: the mask selects
+            # exactly the non-NaN entries (excluding the source), so a
+            # plain max equals the nanmax over the masked array.
+            bt = float(np.max(first_rx[received_non_source]))
             broadcast_time = bt - sim.warmup_s
         else:
             broadcast_time = 0.0
@@ -156,6 +164,9 @@ def simulate_broadcast(
     scenario: NetworkScenario,
     params: AEDBParams,
     protocol_seed: int | None = None,
+    runtime: ScenarioRuntime | None = None,
 ) -> BroadcastMetrics:
     """Convenience wrapper: build, run, and return the metrics."""
-    return BroadcastSimulator(scenario, params, protocol_seed=protocol_seed).run()
+    return BroadcastSimulator(
+        scenario, params, protocol_seed=protocol_seed, runtime=runtime
+    ).run()

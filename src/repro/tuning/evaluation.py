@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.manet.aedb import AEDBParams
 from repro.manet.metrics import BroadcastMetrics, aggregate_metrics
+from repro.manet.runtime import get_runtime
 from repro.manet.scenarios import NetworkScenario, make_scenarios
 from repro.manet.simulator import BroadcastSimulator
 from repro.tuning.cache import EvaluationCache
@@ -44,8 +45,17 @@ __all__ = ["NetworkSetEvaluator", "ParallelNetworkSetEvaluator"]
 
 
 def _simulate_one(scenario: NetworkScenario, params: AEDBParams) -> BroadcastMetrics:
-    """Module-level worker (must be picklable for process pools)."""
-    return BroadcastSimulator(scenario, params).run()
+    """Module-level worker (must be picklable for process pools).
+
+    Each worker process resolves the scenario's shared
+    :class:`~repro.manet.runtime.ScenarioRuntime` from its own
+    per-process LRU, so a batch fanned out over the pool pays the
+    beacon-grid precompute once per (worker, scenario) and reuses it for
+    every configuration that follows.
+    """
+    return BroadcastSimulator(
+        scenario, params, runtime=get_runtime(scenario)
+    ).run()
 
 
 def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
@@ -112,7 +122,14 @@ class NetworkSetEvaluator:
     def _simulate_all(self, params: AEDBParams) -> BroadcastMetrics:
         runs = []
         for scenario in self.scenarios:
-            runs.append(BroadcastSimulator(scenario, params).run())
+            # The shared runtime (per-process bounded LRU) makes every
+            # evaluation after the first on a scenario skip the whole
+            # parameter-independent substrate; results are bit-identical.
+            runs.append(
+                BroadcastSimulator(
+                    scenario, params, runtime=get_runtime(scenario)
+                ).run()
+            )
             self.simulations_run += 1
         return aggregate_metrics(runs)
 

@@ -128,7 +128,23 @@ class TestAccounting:
         assert medium.energy_dbm_total() == pytest.approx(16.02 - 10.0)
 
     def test_delivered_to_recorded_on_frame(self):
-        queue, medium, _ = make_medium([[0, 0], [50, 0], [60, 0]])
+        queue = EventQueue()
+        mobility = StaticMobility(
+            np.asarray([[0, 0], [50, 0], [60, 0]], dtype=float), 500.0
+        )
+        medium = RadioMedium(
+            queue, mobility, RadioConfig(), lambda *a: None,
+            record_deliveries=True,
+        )
         frame = medium.transmit(0, 16.02, 0.0)
         queue.run_all()
         assert sorted(frame.delivered_to) == [1, 2]
+
+    def test_delivered_to_not_recorded_by_default(self):
+        queue, medium, deliveries = make_medium([[0, 0], [50, 0], [60, 0]])
+        frame = medium.transmit(0, 16.02, 0.0)
+        queue.run_all()
+        # The callback still fired for both receivers; only the
+        # introspection list is skipped.
+        assert [(r, s) for r, s, _, _ in deliveries] == [(1, 0), (2, 0)]
+        assert frame.delivered_to == []
