@@ -1,4 +1,5 @@
 #!/usr/bin/env python
+# Demonstrates: README §The command line (campaign run/status); DESIGN.md §9 persistent evaluation cache.
 """Declarative scenario-space campaign with resume.
 
 The paper evaluates AEDB on a fixed grid of 3 densities × 10 networks.

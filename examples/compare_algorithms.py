@@ -1,4 +1,5 @@
 #!/usr/bin/env python
+# Demonstrates: README §The command line (repro-aedb compare); the paper's Fig. 6/7 + Table IV pipeline.
 """The paper's comparison, miniaturised: NSGA-II vs CellDE vs AEDB-MLS.
 
 Runs a few independent executions of each algorithm on one density,

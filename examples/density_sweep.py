@@ -1,4 +1,5 @@
 #!/usr/bin/env python
+# Demonstrates: README §Quickstart (NetworkSetEvaluator); DESIGN.md §8 runtime cache across densities.
 """How well does one tuned configuration travel across densities?
 
 The paper optimises per density; its companion work (Ruiz et al. 2012,

@@ -1,4 +1,5 @@
 #!/usr/bin/env python
+# Demonstrates: README §Package map (manet mobility models); DESIGN.md §3 mobility.
 """Is a tuned AEDB configuration robust to the mobility model?
 
 The paper evaluates under random-walk mobility only.  This extension

@@ -1,4 +1,5 @@
 #!/usr/bin/env python
+# Demonstrates: README §Package map (moo optimisers) on the tuning problem of src/repro/tuning.
 """MOEA zoo: five classic optimisers and AEDB-MLS on the tuning problem.
 
 The paper compares AEDB-MLS against NSGA-II and CellDE; the library also

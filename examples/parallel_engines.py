@@ -1,4 +1,5 @@
 #!/usr/bin/env python
+# Demonstrates: README §Package map (core engines); the paper's parallel local-search claim.
 """The three AEDB-MLS execution engines side by side.
 
 Same algorithm, same budget, three concurrency models (paper Sect. IV:

@@ -1,4 +1,5 @@
 #!/usr/bin/env python
+# Demonstrates: README §The command line (repro-aedb protocols); DESIGN.md §6 AEDB state machine.
 """Protocol showdown: AEDB against the classic broadcast-storm schemes.
 
 The paper motivates AEDB with the *broadcast storm problem* (Ni et

@@ -1,4 +1,5 @@
 #!/usr/bin/env python
+# Demonstrates: README §Quickstart (simulate one broadcast); DESIGN.md §2 architecture.
 """Quickstart: simulate one AEDB broadcast and read the four metrics.
 
 Builds one of the paper's evaluation networks (300 devices/km² -> 75

@@ -1,4 +1,5 @@
 #!/usr/bin/env python
+# Demonstrates: README §The command line (repro-aedb sensitivity); the paper's Fig. 2 / Table I.
 """Reproduce the paper's sensitivity analysis (Sect. III-B / Fig. 2).
 
 Runs FAST99 over the wide exploration ranges for one density, prints the

@@ -1,4 +1,5 @@
 #!/usr/bin/env python
+# Demonstrates: README §The command line (repro-aedb tune); DESIGN.md §8 runtime cache under an optimiser.
 """Tune AEDB with the paper's algorithm (AEDB-MLS) and inspect the front.
 
 Runs a reduced-budget AEDB-MLS (the paper's Sect. IV algorithm: parallel

@@ -47,6 +47,38 @@ Quick guide
    face of the same objects; :func:`render_report` and
    :func:`render_status` produce the text views.
 
+What the executor shares under the pool (DESIGN.md §9)
+======================================================
+
+Two layers make repeated and parallel evaluation nearly free, both
+transparent (identical metrics, bit for bit) and both optional:
+
+* **Shared-memory runtimes** — before the pool forks, the executor
+  packs each pending scenario's parameter-independent substrate
+  (per-tick neighbour tables, the replayed protocol RNG stream) into
+  one :mod:`multiprocessing.shared_memory` segment via
+  :class:`~repro.manet.shared.SharedRuntimeArena`; workers map it
+  read-only instead of privately rebuilding it, so substrate memory and
+  warm-up cost scale with *scenario* count, not worker count.  Opt out
+  with ``shared_runtimes=False`` or ``REPRO_SHARED_RUNTIME=0``.
+
+* **Persistent evaluation cache** — every finished simulation is
+  appended to the store's ``evaluations.jsonl`` sidecar
+  (:class:`~repro.tuning.cache.PersistentEvaluationCache`), keyed on
+  the full ``(scenario, params)`` content.  Re-running a completed
+  grid into a *fresh* store — or running a different campaign whose
+  cells overlap — executes zero simulations::
+
+      store_b = ResultStore("runs/other-dir")
+      report = CampaignExecutor(
+          spec, store_b,
+          eval_cache="runs/mobility-sweep/evaluations.jsonl",
+      ).run()
+      assert report.simulations_executed == 0   # all served from disk
+
+  ``eval_cache=None`` disables it; ``repro-aedb cache stats|flush``
+  maintains it.
+
 Workloads
 =========
 
@@ -58,8 +90,8 @@ each cell one seeded tuning run; the experiment runner's
 historical seeds bit-for-bit.
 
 Follow-ups tracked in ROADMAP.md: distributed backends (cells are
-already self-describing and content-keyed), cross-campaign evaluation
-caching, and result dashboards on top of the JSONL store.
+already self-describing and content-keyed) and result dashboards on top
+of the JSONL store.
 """
 
 from repro.campaigns.executor import (

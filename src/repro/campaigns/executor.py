@@ -25,12 +25,26 @@ the one intentionally non-reproducible field).
 ``serial=True`` runs the same jobs in-process in spec order — the mode
 the experiment runner uses to reproduce its historical single-threaded
 behaviour exactly, and the cheapest path for tiny sweeps.
+
+Two transparent layers sit under the pool (DESIGN.md §9):
+
+* a :class:`~repro.manet.shared.SharedRuntimeArena` packs each pending
+  scenario's substrate into shared memory once, so every worker maps the
+  same precompute read-only instead of privately rebuilding it
+  (``shared_runtimes=False`` or ``REPRO_SHARED_RUNTIME=0`` opts out);
+* a :class:`~repro.tuning.cache.PersistentEvaluationCache` sidecar next
+  to the store (``evaluations.jsonl``) records every simulation result,
+  so re-running a grid — or a *different* campaign whose cells overlap
+  on (scenario, params, seed) — serves those simulations from disk
+  without touching the pool.  Cached results are the exact stored
+  metrics, so resumed and fresh runs stay bit-identical.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -38,9 +52,14 @@ from repro.campaigns.spec import EVALUATE, CampaignCell, CampaignSpec
 from repro.campaigns.store import ResultStore
 from repro.manet.aedb import AEDBParams
 from repro.manet.metrics import BroadcastMetrics, aggregate_metrics
-from repro.manet.runtime import get_runtime
 from repro.manet.scenarios import NetworkScenario
+from repro.manet.shared import (
+    SharedRuntimeArena,
+    SharedRuntimeHandle,
+    attach_runtime,
+)
 from repro.manet.simulator import BroadcastSimulator
+from repro.tuning.cache import PersistentEvaluationCache
 
 __all__ = ["CampaignExecutor", "CampaignRunReport", "CellResult"]
 
@@ -53,6 +72,9 @@ class _SimJob:
     index: int
     scenario: NetworkScenario
     params: AEDBParams
+    #: Pointer to the scenario's shared-memory substrate, attached by
+    #: the executor just before submission (None = per-process runtime).
+    handle: SharedRuntimeHandle | None = None
 
 
 @dataclass(frozen=True)
@@ -74,15 +96,18 @@ class _TuneJob:
 def _execute_job(job):
     """Worker entry point: one simulation or one optimiser run.
 
-    Simulation jobs resolve their scenario's shared
-    :class:`~repro.manet.runtime.ScenarioRuntime` from the worker's
-    per-process LRU, so cells that reference the same scenario — within a
-    campaign or across param-sweep cells — share one precomputed beacon
-    grid per worker instead of recomputing it per simulation.
+    Simulation jobs carrying a shared-runtime handle map the parent's
+    one precompute; jobs without (or whose attach cannot be honoured)
+    resolve their scenario's :class:`~repro.manet.runtime.ScenarioRuntime`
+    from the worker's per-process LRU instead, so cells that reference
+    the same scenario — within a campaign or across param-sweep cells —
+    still share one precomputed beacon grid per worker.  Results are
+    bit-identical on every path.
     """
     if isinstance(job, _SimJob):
         return BroadcastSimulator(
-            job.scenario, job.params, runtime=get_runtime(job.scenario)
+            job.scenario, job.params,
+            runtime=attach_runtime(job.scenario, job.handle),
         ).run()
     return _run_tune_job(job)
 
@@ -185,6 +210,10 @@ class CampaignRunReport:
     spec: CampaignSpec
     executed: list[CellResult] = field(default_factory=list)
     skipped: list[CampaignCell] = field(default_factory=list)
+    #: Simulation jobs served from the persistent evaluation cache.
+    cache_hits: int = 0
+    #: Simulation jobs actually executed (cache hits excluded).
+    simulations_executed: int = 0
 
     @property
     def executed_keys(self) -> list[str]:
@@ -192,7 +221,8 @@ class CampaignRunReport:
 
     @property
     def n_simulations(self) -> int:
-        """Direct simulation jobs run (tune cells count their own inside)."""
+        """Direct simulation jobs *resolved* this run, cached or not
+        (tune cells count their own inside)."""
         return sum(r.cell.n_simulations for r in self.executed)
 
 
@@ -207,6 +237,8 @@ class CampaignExecutor:
         serial: bool = False,
         scale=None,
         mls_engine: str | None = None,
+        eval_cache="auto",
+        shared_runtimes: bool = True,
     ):
         """``store=None`` runs in memory (results only in the report).
 
@@ -214,6 +246,14 @@ class CampaignExecutor:
         :class:`~repro.experiments.config.ExperimentScale` (the runner
         passes ad-hoc scales that have no registry name);
         ``mls_engine`` is forwarded to AEDB-MLS tune cells.
+
+        ``eval_cache`` selects the persistent per-simulation cache:
+        ``"auto"`` (default) uses the store's ``evaluations.jsonl``
+        sidecar (no cache when running storeless), ``None``/``False``
+        disables it, a path points at a cache shared across campaigns,
+        and a :class:`~repro.tuning.cache.PersistentEvaluationCache` is
+        used as-is.  ``shared_runtimes=False`` keeps pooled runs on
+        per-process runtimes (no shared-memory arena).
         """
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
@@ -223,6 +263,25 @@ class CampaignExecutor:
         self.serial = serial
         self._scale_override = scale
         self.mls_engine = mls_engine
+        self._eval_cache_spec = eval_cache
+        self.shared_runtimes = shared_runtimes
+
+    def _resolve_eval_cache(
+        self,
+    ) -> tuple[PersistentEvaluationCache | None, bool]:
+        """``(cache, owned)`` — caller-provided instances are not closed
+        by :meth:`run`; ones built here (a full sidecar reload plus an
+        append handle) are released at the end of the run."""
+        spec = self._eval_cache_spec
+        if spec is None or spec is False:
+            return None, False
+        if isinstance(spec, PersistentEvaluationCache):
+            return spec, False
+        if spec == "auto":
+            if self.store is None:
+                return None, False
+            return PersistentEvaluationCache(self.store.eval_cache_path), True
+        return PersistentEvaluationCache(Path(spec)), True
 
     # ------------------------------------------------------------------ #
     def _scale_for(self, cell: CampaignCell):
@@ -277,10 +336,15 @@ class CampaignExecutor:
         )
         if not pending:
             return report
-        if self.serial:
-            self._run_serial(pending, report, progress)
-        else:
-            self._run_pooled(pending, report, progress)
+        cache, owned = self._resolve_eval_cache()
+        try:
+            if self.serial:
+                self._run_serial(pending, report, progress, cache)
+            else:
+                self._run_pooled(pending, report, progress, cache)
+        finally:
+            if owned and cache is not None:
+                cache.close()
         return report
 
     @staticmethod
@@ -311,12 +375,44 @@ class CampaignExecutor:
         if progress is not None:
             progress(result)
 
-    def _run_serial(self, pending, report, progress) -> None:
+    # The serial and pooled paths share the cache bookkeeping through
+    # exactly these two hooks, so their reports can never diverge.
+    @staticmethod
+    def _cached_payload(job, report, cache):
+        """A persistent-cache hit for ``job``, or None (= must execute)."""
+        if isinstance(job, _SimJob) and cache is not None:
+            stored = cache.get_metrics(job.scenario, job.params)
+            if stored is not None:
+                report.cache_hits += 1
+                return stored
+        return None
+
+    @staticmethod
+    def _record_executed(job, payload, report, cache) -> None:
+        """Count one live execution and persist a simulation's result."""
+        if isinstance(job, _SimJob):
+            report.simulations_executed += 1
+            if cache is not None:
+                cache.put_metrics(job.scenario, job.params, payload)
+
+    def _resolve_serial_job(self, job, report, cache):
+        """One job's payload: persistent-cache hit or live execution."""
+        stored = self._cached_payload(job, report, cache)
+        if stored is not None:
+            return stored
+        payload = _execute_job(job)
+        self._record_executed(job, payload, report, cache)
+        return payload
+
+    def _run_serial(self, pending, report, progress, cache) -> None:
         for cell in pending:
-            payloads = [_execute_job(job) for job in self._jobs_for(cell)]
+            payloads = [
+                self._resolve_serial_job(job, report, cache)
+                for job in self._jobs_for(cell)
+            ]
             self._finish_cell(cell, payloads, report, progress)
 
-    def _run_pooled(self, pending, report, progress) -> None:
+    def _run_pooled(self, pending, report, progress, cache) -> None:
         # Build every job up front so the pool sees the whole campaign's
         # work at once; buckets reassemble payloads per cell in job order.
         jobs_by_cell = {cell.key: self._jobs_for(cell) for cell in pending}
@@ -324,47 +420,85 @@ class CampaignExecutor:
         buckets: dict[str, dict[int, object]] = {
             key: {} for key in jobs_by_cell
         }
+        # Persistent-cache hits resolve before the pool exists; cells
+        # fully served from disk complete without a single worker.
+        submit: list = []
+        for key, jobs in jobs_by_cell.items():
+            for job in jobs:
+                stored = self._cached_payload(job, report, cache)
+                if stored is not None:
+                    buckets[key][job.index] = stored
+                else:
+                    submit.append(job)
+        for cell in pending:
+            bucket = buckets[cell.key]
+            if len(bucket) == len(jobs_by_cell[cell.key]):
+                self._finish_cell(
+                    cell, [bucket[i] for i in sorted(bucket)],
+                    report, progress,
+                )
+        if not submit:
+            return  # everything came from the cache: no pool, no arena
+        arena = None
+        if self.shared_runtimes:
+            # One shared-memory precompute per distinct pending scenario,
+            # created before the pool so workers fork with the segments
+            # (and the resource tracker) already in place.  None = shared
+            # memory unavailable; workers fall back per process.
+            arena = SharedRuntimeArena.create(
+                [j.scenario for j in submit if isinstance(j, _SimJob)]
+            )
         failures: dict[str, Exception] = {}
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = {
-                pool.submit(_execute_job, job): job
-                for jobs in jobs_by_cell.values()
-                for job in jobs
-            }
-            remaining = set(futures)
-            try:
-                while remaining:
-                    done, remaining = wait(
-                        remaining, return_when=FIRST_COMPLETED
-                    )
-                    for future in done:
-                        job = futures[future]
-                        # A failed job fails its cell but never the
-                        # drain: every other cell still completes and
-                        # persists, keeping the resume contract (the
-                        # next run re-executes only the failed cells).
-                        try:
-                            payload = future.result()
-                        except Exception as exc:  # noqa: BLE001
-                            failures.setdefault(job.cell_key, exc)
-                            continue
-                        bucket = buckets[job.cell_key]
-                        bucket[job.index] = payload
-                        if (
-                            job.cell_key not in failures
-                            and len(bucket) == len(jobs_by_cell[job.cell_key])
-                        ):
-                            payloads = [bucket[i] for i in sorted(bucket)]
-                            self._finish_cell(
-                                cell_by_key[job.cell_key], payloads,
-                                report, progress,
+        try:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = {}
+                for job in submit:
+                    if arena is not None and isinstance(job, _SimJob):
+                        job = replace(
+                            job, handle=arena.handle_for(job.scenario)
+                        )
+                    futures[pool.submit(_execute_job, job)] = job
+                remaining = set(futures)
+                try:
+                    while remaining:
+                        done, remaining = wait(
+                            remaining, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            job = futures[future]
+                            # A failed job fails its cell but never the
+                            # drain: every other cell still completes and
+                            # persists, keeping the resume contract (the
+                            # next run re-executes only the failed cells).
+                            try:
+                                payload = future.result()
+                            except Exception as exc:  # noqa: BLE001
+                                failures.setdefault(job.cell_key, exc)
+                                continue
+                            self._record_executed(
+                                job, payload, report, cache
                             )
-            except BaseException:
-                # Finished cells are already on disk; don't burn through
-                # the rest of the queue before re-raising.
-                for future in remaining:
-                    future.cancel()
-                raise
+                            bucket = buckets[job.cell_key]
+                            bucket[job.index] = payload
+                            if (
+                                job.cell_key not in failures
+                                and len(bucket)
+                                == len(jobs_by_cell[job.cell_key])
+                            ):
+                                payloads = [bucket[i] for i in sorted(bucket)]
+                                self._finish_cell(
+                                    cell_by_key[job.cell_key], payloads,
+                                    report, progress,
+                                )
+                except BaseException:
+                    # Finished cells are already on disk; don't burn
+                    # through the rest of the queue before re-raising.
+                    for future in remaining:
+                        future.cancel()
+                    raise
+        finally:
+            if arena is not None:
+                arena.close()
         # Report in spec order regardless of completion order.
         order = {cell.key: i for i, cell in enumerate(pending)}
         report.executed.sort(key=lambda r: order[r.cell.key])

@@ -6,6 +6,13 @@ Layout under one campaign directory::
       spec.json            # the CampaignSpec that owns this directory
       cells/<key>.jsonl    # one file per completed cell
 
+The optional ``evaluations.jsonl`` sidecar is the campaign's persistent
+per-simulation evaluation cache
+(:class:`~repro.tuning.cache.PersistentEvaluationCache`, written by the
+executor): cells resolve at cell granularity from ``cells/``, individual
+simulations at (scenario, params) granularity from the sidecar — which
+also serves *other* campaigns whose grids overlap.
+
 A cell file is JSON Lines: a header line carrying the full cell
 description, one line per result record, and a terminal ``done`` marker.
 Files are written whole and atomically (temp file + ``os.replace``), so
@@ -52,6 +59,7 @@ class ResultStore:
 
     SPEC_FILE = "spec.json"
     CELLS_DIR = "cells"
+    EVAL_CACHE_FILE = "evaluations.jsonl"
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
@@ -60,6 +68,11 @@ class ResultStore:
     @property
     def spec_path(self) -> Path:
         return self.root / self.SPEC_FILE
+
+    @property
+    def eval_cache_path(self) -> Path:
+        """Default location of the persistent evaluation-cache sidecar."""
+        return self.root / self.EVAL_CACHE_FILE
 
     def cell_path(self, cell: CampaignCell) -> Path:
         return self.root / self.CELLS_DIR / f"{cell.key}.jsonl"

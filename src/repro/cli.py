@@ -14,7 +14,9 @@ Subcommands map to the deliverables:
 * ``campaign``    — declarative scenario-space sweeps (densities ×
   mobility models × arenas × seeds × algorithms) with batched parallel
   execution and a resumable result store: ``campaign run``,
-  ``campaign status``, ``campaign report``.
+  ``campaign status``, ``campaign report``;
+* ``cache``       — maintenance of the persistent evaluation cache
+  (the ``evaluations.jsonl`` sidecar): ``cache stats``, ``cache flush``.
 
 Every command honours ``--scale {quick,medium,paper}`` (or the
 ``REPRO_SCALE`` env var) and ``--seed``.
@@ -127,12 +129,40 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--serial", action="store_true", help="run in-process, no pool"
     )
+    cache_group = run_p.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persistent evaluation cache file (default: the campaign's "
+             "evaluations.jsonl sidecar; point several campaigns at one "
+             "file to share results across them)",
+    )
+    cache_group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent evaluation cache",
+    )
+    run_p.add_argument(
+        "--no-shared-runtime", action="store_true",
+        help="keep pool workers on per-process runtimes (no shared memory)",
+    )
 
     status_p = camp_sub.add_parser("status", help="completion census")
     status_p.add_argument("--out", required=True, help="campaign directory")
 
     report_p = camp_sub.add_parser("report", help="render completed results")
     report_p.add_argument("--out", required=True, help="campaign directory")
+
+    cache_p = sub.add_parser(
+        "cache", help="persistent evaluation-cache maintenance"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cstats = cache_sub.add_parser("stats", help="entry/size census")
+    cstats.add_argument(
+        "--path", required=True, help="cache file (…/evaluations.jsonl)"
+    )
+    cflush = cache_sub.add_parser("flush", help="delete every cached result")
+    cflush.add_argument(
+        "--path", required=True, help="cache file (…/evaluations.jsonl)"
+    )
     return parser
 
 
@@ -304,7 +334,13 @@ def _cmd_campaign(args, scale) -> int:
 
     spec = _campaign_spec_from_args(args, scale)
     executor = CampaignExecutor(
-        spec, store, max_workers=args.workers, serial=args.serial
+        spec, store, max_workers=args.workers, serial=args.serial,
+        eval_cache=(
+            None if args.no_cache
+            else args.cache if args.cache is not None
+            else "auto"
+        ),
+        shared_runtimes=not args.no_shared_runtime,
     )
     report = executor.run(
         progress=lambda r: print(f"  cell {r.cell.key} done", flush=True)
@@ -312,9 +348,25 @@ def _cmd_campaign(args, scale) -> int:
     print(
         f"campaign '{spec.name}': {len(report.executed)} cells executed, "
         f"{len(report.skipped)} already complete "
-        f"({report.n_simulations} simulations this run)"
+        f"({report.simulations_executed} simulations run, "
+        f"{report.cache_hits} served from cache)"
     )
     print(render_status(spec, store))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.tuning import PersistentEvaluationCache
+
+    cache = PersistentEvaluationCache(args.path)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache:   {stats['path']}")
+        print(f"entries: {stats['entries']}")
+        print(f"on disk: {stats['disk_bytes']} bytes")
+        return 0
+    removed = cache.flush()
+    print(f"flushed {removed} cached evaluations from {args.path}")
     return 0
 
 
@@ -338,6 +390,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_protocols(args, scale)
     if args.command == "campaign":
         return _cmd_campaign(args, scale)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -23,7 +23,10 @@ configuration the way the paper does with ns3:
 * :mod:`repro.manet.runtime` — the per-scenario cache of the
   parameter-independent substrate (beacon-table timeline, position
   snapshots, path-loss model) that makes repeated evaluations on the
-  same network skip the whole beacon cost.
+  same network skip the whole beacon cost;
+* :mod:`repro.manet.shared` — the cross-process form of that cache:
+  one shared-memory precompute per scenario, mapped read-only by every
+  pool worker (DESIGN.md §9).
 """
 
 from repro.manet.aedb import AEDBParams
@@ -43,8 +46,16 @@ from repro.manet.runtime import (
     ScenarioRuntime,
     clear_runtime_cache,
     get_runtime,
+    runtime_cache_nbytes,
     runtime_cache_size,
     set_runtime_memoisation,
+)
+from repro.manet.shared import (
+    SharedRuntimeArena,
+    SharedRuntimeHandle,
+    attach_runtime,
+    set_shared_runtimes,
+    shared_runtimes_enabled,
 )
 from repro.manet.simulator import BroadcastSimulator, simulate_broadcast
 
@@ -65,4 +76,10 @@ __all__ = [
     "set_runtime_memoisation",
     "clear_runtime_cache",
     "runtime_cache_size",
+    "runtime_cache_nbytes",
+    "SharedRuntimeArena",
+    "SharedRuntimeHandle",
+    "attach_runtime",
+    "shared_runtimes_enabled",
+    "set_shared_runtimes",
 ]

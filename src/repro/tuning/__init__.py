@@ -8,7 +8,7 @@ the paper), computed by :class:`NetworkSetEvaluator`.
 """
 
 from repro.tuning.bounds import VARIABLE_DOMAINS, variable_names
-from repro.tuning.cache import EvaluationCache
+from repro.tuning.cache import EvaluationCache, PersistentEvaluationCache
 from repro.tuning.evaluation import (
     NetworkSetEvaluator,
     ParallelNetworkSetEvaluator,
@@ -21,6 +21,7 @@ __all__ = [
     "NetworkSetEvaluator",
     "ParallelNetworkSetEvaluator",
     "EvaluationCache",
+    "PersistentEvaluationCache",
     "VARIABLE_DOMAINS",
     "variable_names",
 ]

@@ -1,26 +1,47 @@
-"""Optional evaluation memoisation.
+"""Optional evaluation memoisation — in-memory and persistent.
 
-The simulator makes fitness a pure function of the parameter vector, so
-re-evaluating an identical vector (which population algorithms do when
-clones survive selection) is wasted work.  The cache is keyed on the
-vector rounded to a configurable precision, evicts in true LRU order
-(hits refresh recency, the oldest entry goes first), and is thread-safe
-(AEDB-MLS's shared-memory engine evaluates from many threads).
+The simulator makes fitness a pure function of its inputs, which buys
+two independent caching layers:
 
-Disabled by default in experiment presets — the paper does not cache — but
-exposed for the ablation benchmarks, the campaign executor's batched
-evaluation path, and interactive use.
+* :class:`EvaluationCache` — per-process LRU keyed on the *parameter
+  vector* (an evaluator's scenario set is fixed, so the vector is the
+  whole key).  Re-evaluating an identical vector — which population
+  algorithms do when clones survive selection — is wasted work.  Keys
+  round to a configurable precision, hits refresh recency, and the
+  structure is thread-safe (AEDB-MLS's shared-memory engine evaluates
+  from many threads).  Disabled by default in experiment presets — the
+  paper does not cache — but exposed for the ablation benchmarks, the
+  campaign executor's batched evaluation path, and interactive use.
+
+* :class:`PersistentEvaluationCache` — the on-disk form (DESIGN.md §9):
+  one JSONL sidecar mapping a content key over the full
+  ``(scenario, params)`` description to the exact
+  :class:`~repro.manet.metrics.BroadcastMetrics` of that single-network
+  simulation.  Because the key covers *everything* the simulation
+  depends on, the file can outlive the process, the campaign, and the
+  machine: repeated sweeps over overlapping grids — or two different
+  campaigns sharing scenario + params + seed cells — skip those
+  simulations entirely.  Floats round-trip through JSON via ``repr``,
+  so a hit returns metrics bit-identical to what was stored.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 from collections import OrderedDict
-from typing import Callable
+from dataclasses import asdict
+from pathlib import Path
+from typing import IO, Callable
 
 import numpy as np
 
-__all__ = ["EvaluationCache"]
+from repro.manet.aedb import AEDBParams
+from repro.manet.metrics import BroadcastMetrics
+from repro.manet.scenarios import NetworkScenario
+
+__all__ = ["EvaluationCache", "PersistentEvaluationCache"]
 
 
 class EvaluationCache:
@@ -119,3 +140,187 @@ class EvaluationCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+
+
+# --------------------------------------------------------------------- #
+def _canonical_json(obj) -> str:
+    """Deterministic JSON (sorted keys, fixed separators, repr floats)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class PersistentEvaluationCache:
+    """Content-keyed on-disk memoisation of single-network simulations.
+
+    One JSON line per entry::
+
+        {"key": "<sha1>", "metrics": {...}, "v": 1}
+
+    appended (and flushed) the moment a result exists, so a crash loses
+    at most the line being written — and a torn tail line is skipped on
+    the next load, never an error.  The writer contract is
+    single-writer-per-file (the campaign executor's parent process, or
+    one evaluator); any number of readers may load concurrently.
+
+    Keys hash the *complete* simulation input: every scenario field
+    (mobility seed, source, node count, mobility model, the full
+    simulation/radio config) plus the exact parameter vector, under a
+    format version.  Anything that would change the simulated result
+    changes the key, so a stale entry can never be mistaken for the
+    current cell's — the same discipline as the campaign store's cell
+    keys.  Entries assume the scenario-default protocol seed (the only
+    seed evaluators and campaign cells use); runs with an explicit
+    ``protocol_seed`` must not be cached here.
+
+    Usage::
+
+        cache = PersistentEvaluationCache("runs/evaluations.jsonl")
+        hit = cache.get_metrics(scenario, params)
+        if hit is None:
+            hit = BroadcastSimulator(scenario, params).run()
+            cache.put_metrics(scenario, params, hit)
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._entries: dict[str, BroadcastMetrics] = {}
+        self._lock = threading.Lock()
+        self._writer: IO[str] | None = None
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a crash mid-append
+            if obj.get("v") != self.VERSION:
+                continue  # future/foreign format: ignore, don't fail
+            try:
+                metrics = BroadcastMetrics(**obj["metrics"])
+            except (KeyError, TypeError):
+                continue
+            self._entries[obj["key"]] = metrics
+
+    @classmethod
+    def simulation_key(
+        cls, scenario: NetworkScenario, params: AEDBParams
+    ) -> str:
+        """Content key of one ``(scenario, params)`` simulation."""
+        payload = {
+            "v": cls.VERSION,
+            # asdict recurses into the nested sim/radio/mobility configs,
+            # so any config change reshapes the key.
+            "scenario": asdict(scenario),
+            "params": [float(v) for v in params.as_array()],
+        }
+        return hashlib.sha1(
+            _canonical_json(payload).encode("utf-8")
+        ).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    def get_metrics(
+        self, scenario: NetworkScenario, params: AEDBParams
+    ) -> BroadcastMetrics | None:
+        """The stored metrics, or ``None`` on a miss (both counted)."""
+        key = self.simulation_key(scenario, params)
+        with self._lock:
+            metrics = self._entries.get(key)
+            if metrics is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+            return metrics
+
+    def put_metrics(
+        self,
+        scenario: NetworkScenario,
+        params: AEDBParams,
+        metrics: BroadcastMetrics,
+    ) -> None:
+        """Record one simulation result (appended to disk immediately)."""
+        key = self.simulation_key(scenario, params)
+        line = _canonical_json({
+            "key": key,
+            "metrics": {
+                "coverage": metrics.coverage,
+                "energy_dbm": metrics.energy_dbm,
+                "forwardings": metrics.forwardings,
+                "broadcast_time_s": metrics.broadcast_time_s,
+                "n_nodes": metrics.n_nodes,
+            },
+            "v": self.VERSION,
+        })
+        with self._lock:
+            if key in self._entries:
+                return  # already on disk; keep the file append-only
+            self._entries[key] = metrics
+            if self._writer is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._writer = self.path.open("a", encoding="utf-8")
+            self._writer.write(line + "\n")
+            self._writer.flush()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters snapshot: entries, disk size, session hits/misses."""
+        with self._lock:
+            entries = len(self._entries)
+            hits, misses = self.hits, self.misses
+        try:
+            disk_bytes = self.path.stat().st_size
+        except FileNotFoundError:
+            disk_bytes = 0
+        return {
+            "path": str(self.path),
+            "entries": entries,
+            "disk_bytes": disk_bytes,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if (hits + misses) else 0.0,
+        }
+
+    def close(self) -> None:
+        """Release the append handle (idempotent; entries stay loaded)."""
+        with self._lock:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+
+    def flush(self) -> int:
+        """Delete the sidecar and every in-memory entry; return the count.
+
+        The maintenance operation behind ``repro-aedb cache flush`` —
+        use it when simulator semantics changed underneath recorded
+        results (the version field guards *format* changes, not physics
+        fixes).
+        """
+        with self._lock:
+            removed = len(self._entries)
+            self._entries.clear()
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+            self.path.unlink(missing_ok=True)
+        return removed
+
+    def __enter__(self) -> "PersistentEvaluationCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

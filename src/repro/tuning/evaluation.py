@@ -25,6 +25,18 @@ campaign executor builds on.  The worker pool is persistent across
 batches and is reclaimed by :meth:`close`, the context manager, or (via
 ``weakref.finalize``) garbage collection and interpreter exit, so an
 unclosed evaluator no longer orphans worker processes.
+
+Two optional layers plug into both evaluators (DESIGN.md §9):
+
+* a :class:`~repro.manet.shared.SharedRuntimeArena` is created
+  automatically by the parallel evaluator, so its workers map one
+  shared-memory copy of each scenario's substrate instead of privately
+  rebuilding it per process (transparent fallback to the per-process
+  LRU when shared memory is unavailable);
+* ``persistent=`` accepts a
+  :class:`~repro.tuning.cache.PersistentEvaluationCache`, short-cutting
+  any ``(scenario, params)`` simulation already recorded on disk —
+  across processes, runs, and campaigns.
 """
 
 from __future__ import annotations
@@ -38,23 +50,29 @@ from repro.manet.aedb import AEDBParams
 from repro.manet.metrics import BroadcastMetrics, aggregate_metrics
 from repro.manet.runtime import get_runtime
 from repro.manet.scenarios import NetworkScenario, make_scenarios
+from repro.manet.shared import SharedRuntimeArena, SharedRuntimeHandle, attach_runtime
 from repro.manet.simulator import BroadcastSimulator
-from repro.tuning.cache import EvaluationCache
+from repro.tuning.cache import EvaluationCache, PersistentEvaluationCache
 
 __all__ = ["NetworkSetEvaluator", "ParallelNetworkSetEvaluator"]
 
 
-def _simulate_one(scenario: NetworkScenario, params: AEDBParams) -> BroadcastMetrics:
+def _simulate_one(
+    scenario: NetworkScenario,
+    params: AEDBParams,
+    handle: "SharedRuntimeHandle | None" = None,
+) -> BroadcastMetrics:
     """Module-level worker (must be picklable for process pools).
 
-    Each worker process resolves the scenario's shared
-    :class:`~repro.manet.runtime.ScenarioRuntime` from its own
-    per-process LRU, so a batch fanned out over the pool pays the
-    beacon-grid precompute once per (worker, scenario) and reuses it for
-    every configuration that follows.
+    With a handle the worker maps the parent's shared-memory substrate
+    (one precompute for the whole pool); without one — or when the
+    attach cannot be honoured — it resolves the scenario's runtime from
+    its own per-process LRU, so a batch fanned out over the pool pays
+    the beacon-grid precompute at most once per (worker, scenario).
+    Either way the metrics are bit-identical.
     """
     return BroadcastSimulator(
-        scenario, params, runtime=get_runtime(scenario)
+        scenario, params, runtime=attach_runtime(scenario, handle)
     ).run()
 
 
@@ -70,6 +88,7 @@ class NetworkSetEvaluator:
         self,
         scenarios: list[NetworkScenario],
         cache: EvaluationCache | None = None,
+        persistent: PersistentEvaluationCache | None = None,
     ):
         if not scenarios:
             raise ValueError("scenario set must be non-empty")
@@ -80,6 +99,9 @@ class NetworkSetEvaluator:
             )
         self.scenarios = list(scenarios)
         self.cache = cache
+        #: Optional on-disk per-simulation memo, shared across processes
+        #: and runs (PersistentEvaluationCache, DESIGN.md §9).
+        self.persistent = persistent
         #: Simulations actually executed (cache hits excluded).
         self.simulations_run = 0
 
@@ -94,6 +116,7 @@ class NetworkSetEvaluator:
         sim=None,
         cache: EvaluationCache | None = None,
         mobility_model: str = "random-walk",
+        persistent: PersistentEvaluationCache | None = None,
     ) -> "NetworkSetEvaluator":
         """Build the paper's evaluation set for one density."""
         return cls(
@@ -106,6 +129,7 @@ class NetworkSetEvaluator:
                 mobility_model=mobility_model,
             ),
             cache=cache,
+            persistent=persistent,
         )
 
     # ------------------------------------------------------------------ #
@@ -122,15 +146,23 @@ class NetworkSetEvaluator:
     def _simulate_all(self, params: AEDBParams) -> BroadcastMetrics:
         runs = []
         for scenario in self.scenarios:
-            # The shared runtime (per-process bounded LRU) makes every
-            # evaluation after the first on a scenario skip the whole
-            # parameter-independent substrate; results are bit-identical.
-            runs.append(
-                BroadcastSimulator(
+            stored = (
+                self.persistent.get_metrics(scenario, params)
+                if self.persistent is not None
+                else None
+            )
+            if stored is None:
+                # The shared runtime (per-process bounded LRU) makes
+                # every evaluation after the first on a scenario skip
+                # the whole parameter-independent substrate; results are
+                # bit-identical.
+                stored = BroadcastSimulator(
                     scenario, params, runtime=get_runtime(scenario)
                 ).run()
-            )
-            self.simulations_run += 1
+                self.simulations_run += 1
+                if self.persistent is not None:
+                    self.persistent.put_metrics(scenario, params, stored)
+            runs.append(stored)
         return aggregate_metrics(runs)
 
     def evaluate(self, params: AEDBParams) -> BroadcastMetrics:
@@ -168,6 +200,12 @@ class ParallelNetworkSetEvaluator(NetworkSetEvaluator):
     :meth:`evaluate_many` calls, and shut down by :meth:`close`, the
     context manager, or a ``weakref.finalize`` hook when the evaluator
     is garbage-collected or the interpreter exits.
+
+    A :class:`~repro.manet.shared.SharedRuntimeArena` over the scenario
+    set is built alongside the pool (``shared_runtimes=False`` opts
+    out), so workers map one precomputed substrate instead of each
+    rebuilding their own; when shared memory is unavailable the workers
+    transparently fall back to their per-process LRUs.
     """
 
     def __init__(
@@ -175,13 +213,18 @@ class ParallelNetworkSetEvaluator(NetworkSetEvaluator):
         scenarios: list[NetworkScenario],
         cache: EvaluationCache | None = None,
         max_workers: int | None = None,
+        persistent: PersistentEvaluationCache | None = None,
+        shared_runtimes: bool = True,
     ):
-        super().__init__(scenarios, cache=cache)
+        super().__init__(scenarios, cache=cache, persistent=persistent)
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         self.max_workers = max_workers
+        self.shared_runtimes = shared_runtimes
         self._pool: ProcessPoolExecutor | None = None
         self._finalizer: weakref.finalize | None = None
+        self._arena: SharedRuntimeArena | None = None
+        self._arena_tried = False
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -195,17 +238,68 @@ class ParallelNetworkSetEvaluator(NetworkSetEvaluator):
             )
         return self._pool
 
-    def _simulate_all(self, params: AEDBParams) -> BroadcastMetrics:
-        pool = self._ensure_pool()
-        runs = list(
-            pool.map(
-                _simulate_one,
-                self.scenarios,
-                [params] * len(self.scenarios),
+    def _ensure_arena(self) -> SharedRuntimeArena | None:
+        # Created (once) before the pool so the shared segments — and
+        # the stdlib resource tracker — exist before any worker forks.
+        # A failed creation is not retried: the per-process fallback is
+        # correct, just less shared.  The arena carries its own
+        # crash-safe finalizer; close() just drops it earlier.
+        if not self._arena_tried:
+            self._arena_tried = True
+            if self.shared_runtimes:
+                self._arena = SharedRuntimeArena.create(self.scenarios)
+        return self._arena
+
+    def _pooled_runs(
+        self, pairs: list[tuple[NetworkScenario, AEDBParams]]
+    ) -> list[BroadcastMetrics]:
+        """Resolve ``(scenario, params)`` simulations, pair order.
+
+        Persistent-cache hits never reach the pool; the remainder goes
+        through ONE ``pool.map`` with shared-runtime handles attached.
+        """
+        out: list[BroadcastMetrics | None] = [None] * len(pairs)
+        todo: list[int] = []
+        for i, (scenario, params) in enumerate(pairs):
+            stored = (
+                self.persistent.get_metrics(scenario, params)
+                if self.persistent is not None
+                else None
             )
+            if stored is not None:
+                out[i] = stored
+            else:
+                todo.append(i)
+        if todo:
+            arena = self._ensure_arena()
+            pool = self._ensure_pool()
+            runs = list(
+                pool.map(
+                    _simulate_one,
+                    [pairs[i][0] for i in todo],
+                    [pairs[i][1] for i in todo],
+                    [
+                        arena.handle_for(pairs[i][0])
+                        if arena is not None
+                        else None
+                        for i in todo
+                    ],
+                )
+            )
+            self.simulations_run += len(runs)
+            for i, metrics in zip(todo, runs):
+                out[i] = metrics
+                if self.persistent is not None:
+                    self.persistent.put_metrics(
+                        pairs[i][0], pairs[i][1], metrics
+                    )
+        assert all(m is not None for m in out)
+        return out  # type: ignore[return-value]
+
+    def _simulate_all(self, params: AEDBParams) -> BroadcastMetrics:
+        return aggregate_metrics(
+            self._pooled_runs([(s, params) for s in self.scenarios])
         )
-        self.simulations_run += len(runs)
-        return aggregate_metrics(runs)
 
     def evaluate_many(
         self, params_list: list[AEDBParams]
@@ -240,15 +334,9 @@ class ParallelNetworkSetEvaluator(NetworkSetEvaluator):
         if todo:
             unique = [plist[indices[0]] for indices in todo.values()]
             n_scen = len(self.scenarios)
-            pool = self._ensure_pool()
-            runs = list(
-                pool.map(
-                    _simulate_one,
-                    [s for _ in unique for s in self.scenarios],
-                    [p for p in unique for _ in range(n_scen)],
-                )
+            runs = self._pooled_runs(
+                [(s, p) for p in unique for s in self.scenarios]
             )
-            self.simulations_run += len(runs)
             for j, indices in enumerate(todo.values()):
                 metrics = aggregate_metrics(runs[j * n_scen:(j + 1) * n_scen])
                 if self.cache is not None:
@@ -259,11 +347,15 @@ class ParallelNetworkSetEvaluator(NetworkSetEvaluator):
         return out  # type: ignore[return-value]
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and release the arena (idempotent)."""
         if self._finalizer is not None:
             self._finalizer()  # runs _shutdown_pool exactly once
             self._finalizer = None
         self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+        self._arena_tried = False
 
     def __enter__(self) -> "ParallelNetworkSetEvaluator":
         return self

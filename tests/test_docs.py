@@ -1,0 +1,36 @@
+"""Docs stay true: links resolve, README quickstart actually runs.
+
+Wraps ``tools/check_docs.py`` (the CI docs job) so the tier-1 suite
+catches a broken link or a stale quickstart snippet the moment it is
+introduced, not at review time.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+@pytest.mark.parametrize("name", check_docs.DOC_FILES)
+def test_internal_links_resolve(name):
+    path = REPO_ROOT / name
+    assert path.exists(), f"doc file missing: {name}"
+    assert check_docs.check_links(path) == []
+
+
+@pytest.mark.parametrize("name", check_docs.DOCTEST_FILES)
+def test_quickstart_snippets_execute(name):
+    assert check_docs.run_doctests(REPO_ROOT / name) == []
+
+
+def test_slug_rules_match_github():
+    assert check_docs.github_slug("§9 Shared-memory runtimes & "
+                                  "persistent evaluation cache") == (
+        "9-shared-memory-runtimes--persistent-evaluation-cache"
+    )
+    assert check_docs.github_slug("## not a heading") != ""

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Docs gate: internal links resolve, README snippets execute.
+
+Run from the repo root (CI's docs job does; ``tests/test_docs.py`` wraps
+the same functions so the tier-1 suite enforces it too)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Checks, for every prose file listed in ``DOC_FILES``:
+
+* each relative markdown link ``[text](target)`` points at a file or
+  directory that exists (external ``http(s)://`` links are skipped —
+  CI must not depend on the network);
+* each ``#fragment`` on an internal link matches a heading in the
+  target file, using GitHub's slug rules (lowercase, punctuation
+  stripped, spaces to hyphens);
+* ``README.md``'s ``>>>`` quickstart snippets pass ``doctest``.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Prose files whose links are checked.
+DOC_FILES = ("README.md", "DESIGN.md", "ROADMAP.md", "CHANGES.md")
+
+#: Files whose ``>>>`` examples are executed.
+DOCTEST_FILES = ("README.md",)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(md_path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in md_path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def check_links(md_path: Path) -> list[str]:
+    """Unresolvable internal links of one markdown file."""
+    errors: list[str] = []
+    for target in _LINK.findall(md_path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        dest = (
+            md_path if not path_part
+            else (md_path.parent / path_part).resolve()
+        )
+        if not dest.exists():
+            errors.append(f"{md_path.name}: broken link -> {target}")
+            continue
+        if fragment:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                errors.append(
+                    f"{md_path.name}: fragment on non-markdown -> {target}"
+                )
+            elif fragment not in heading_slugs(dest):
+                errors.append(
+                    f"{md_path.name}: no heading for anchor -> {target}"
+                )
+    return errors
+
+
+def run_doctests(md_path: Path) -> list[str]:
+    """Doctest failures of one markdown file (empty = pass)."""
+    results = doctest.testfile(
+        str(md_path), module_relative=False, verbose=False,
+        optionflags=doctest.ELLIPSIS,
+    )
+    if results.failed:
+        return [
+            f"{md_path.name}: {results.failed}/{results.attempted} "
+            "doctest example(s) failed (rerun with python -m doctest -v)"
+        ]
+    return []
+
+
+def main() -> int:
+    errors: list[str] = []
+    for name in DOC_FILES:
+        path = REPO_ROOT / name
+        if not path.exists():
+            errors.append(f"missing doc file: {name}")
+            continue
+        errors.extend(check_links(path))
+    for name in DOCTEST_FILES:
+        errors.extend(run_doctests(REPO_ROOT / name))
+    if errors:
+        print("docs check FAILED:", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(f"docs check OK ({len(DOC_FILES)} files, links + doctests)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
