@@ -89,24 +89,57 @@ each cell one seeded tuning run; the experiment runner's
 ``run_campaign`` is expressed exactly this way, reproducing its
 historical seeds bit-for-bit.
 
-Follow-ups tracked in ROADMAP.md: distributed backends (cells are
-already self-describing and content-keyed) and result dashboards on top
-of the JSONL store.
+Execution backends (DESIGN.md §10)
+==================================
+
+*How* the cells run is a pluggable strategy behind the
+:class:`~repro.campaigns.backends.Backend` protocol —
+``CampaignExecutor(..., backend=...)`` or ``repro-aedb campaign run
+--backend {inline,pool,shard:N}``:
+
+* ``inline`` — serial, in-process; the debuggable reference;
+* ``pool`` (default) — one shared process pool over all cells' jobs;
+* ``shard:N`` — the cells partition into N content-keyed shards, each
+  run by a subprocess against **its own** store directory (own
+  ``evaluations.jsonl`` handle, warmed from the parent's), then merged
+  back with dedup-by-key and conflict detection.  ``repro-aedb
+  campaign merge <dirs...>`` exposes the same merge standalone.
+
+All backends produce **byte-identical** stores for the same spec —
+the invariant ``tests/campaigns/test_backend_identity.py`` pins — so
+backend choice is purely an execution/deployment decision.  A remote
+transport is "only" a fourth implementation of the protocol; the shard
+layout and merge semantics are already transport-agnostic.
+
+Follow-ups tracked in ROADMAP.md: a remote shard transport and result
+dashboards on top of the JSONL store.
 """
 
+from repro.campaigns.backends import (
+    Backend,
+    InlineBackend,
+    PoolBackend,
+    ShardBackend,
+    resolve_backend,
+)
 from repro.campaigns.executor import (
     CampaignExecutor,
     CampaignRunReport,
     CellResult,
 )
-from repro.campaigns.report import render_report, render_status
+from repro.campaigns.report import render_merge, render_report, render_status
 from repro.campaigns.spec import (
     DEFAULT_PARAMS,
     EVALUATE,
     CampaignCell,
     CampaignSpec,
 )
-from repro.campaigns.store import CampaignStatus, ResultStore
+from repro.campaigns.store import (
+    CampaignStatus,
+    MergeConflictError,
+    MergeReport,
+    ResultStore,
+)
 
 __all__ = [
     "CampaignSpec",
@@ -116,8 +149,16 @@ __all__ = [
     "CellResult",
     "ResultStore",
     "CampaignStatus",
+    "MergeConflictError",
+    "MergeReport",
+    "Backend",
+    "InlineBackend",
+    "PoolBackend",
+    "ShardBackend",
+    "resolve_backend",
     "render_report",
     "render_status",
+    "render_merge",
     "EVALUATE",
     "DEFAULT_PARAMS",
 ]

@@ -1,0 +1,138 @@
+"""The campaign execution-strategy seam.
+
+A :class:`Backend` owns *how* a campaign's pending cells turn into
+persisted results; the :class:`~repro.campaigns.executor.CampaignExecutor`
+owns everything strategy-independent — grid expansion, resume filtering,
+cache resolution, record serialisation, store writes — and hands a
+backend one :class:`ExecutionContext` per run.
+
+The contract every backend must keep (DESIGN.md §10):
+
+* **Bit-identity.**  For the same :class:`CampaignSpec`, the records a
+  backend persists must be byte-identical to every other backend's —
+  records derive only from ``(cell, payloads)`` and payloads are pure
+  functions of their jobs, so a backend may reorder, distribute, batch,
+  or cache-resolve work freely, but must reassemble each cell's
+  payloads in job-index order.  ``tests/campaigns/test_backend_identity.py``
+  pins this across all shipped backends.
+* **Crash-isolation.**  A failed cell (or shard) must not abort the
+  rest of the run; everything that completed persists, so the next
+  invocation re-executes only what failed.
+* **Cache discipline.**  Persistent-cache hits are resolved through
+  :meth:`ExecutionContext.cached_payload` / counted through
+  :meth:`ExecutionContext.record_executed`, so reports can never
+  diverge between backends.
+
+Shipped backends: :class:`~repro.campaigns.backends.inline.InlineBackend`
+(serial, in-process — the debuggable reference),
+:class:`~repro.campaigns.backends.pool.PoolBackend` (one shared process
+pool over all cells' jobs), and
+:class:`~repro.campaigns.backends.shard.ShardBackend` (content-keyed
+cell partitions into per-shard stores, merged back).  A remote transport
+is "only" a fourth implementation of this protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaigns.executor import (
+        CampaignExecutor,
+        CampaignRunReport,
+        CellResult,
+    )
+    from repro.campaigns.spec import CampaignCell, CampaignSpec
+    from repro.campaigns.store import ResultStore
+    from repro.tuning.cache import PersistentEvaluationCache
+
+__all__ = ["Backend", "ExecutionContext"]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """One execution strategy for a campaign's pending cells."""
+
+    #: Stable identifier (``"inline"``, ``"pool"``, ``"shard:4"``, ...).
+    name: str
+
+    def execute(self, ctx: "ExecutionContext") -> None:
+        """Run every cell in ``ctx.pending``, finishing each through
+        ``ctx`` so persistence and reporting stay backend-agnostic."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a backend needs for one :meth:`CampaignExecutor.run`.
+
+    Thin by design: the heavy machinery (job expansion, record
+    serialisation, store writes, cache bookkeeping) stays on the
+    executor, and the context narrows it to exactly the operations a
+    strategy is allowed to use — keeping every backend on the same
+    persistence and accounting paths.
+    """
+
+    executor: "CampaignExecutor"
+    #: Cells to execute this run (resume-filtered, spec order).
+    pending: "list[CampaignCell]"
+    report: "CampaignRunReport"
+    #: Resolved persistent evaluation cache (None = disabled).
+    cache: "PersistentEvaluationCache | None"
+    #: Per-cell completion callback (or None).
+    progress: Callable | None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def spec(self) -> "CampaignSpec":
+        return self.executor.spec
+
+    @property
+    def store(self) -> "ResultStore | None":
+        return self.executor.store
+
+    @property
+    def max_workers(self) -> int | None:
+        return self.executor.max_workers
+
+    @property
+    def shared_runtimes(self) -> bool:
+        return self.executor.shared_runtimes
+
+    @property
+    def scale_override(self):
+        """Ad-hoc scale object (or None), forwarded to sub-executors."""
+        return self.executor._scale_override
+
+    @property
+    def mls_engine(self) -> str | None:
+        return self.executor.mls_engine
+
+    # ------------------------------------------------------------------ #
+    def jobs_for(self, cell: "CampaignCell") -> list:
+        """The cell's job objects (index order)."""
+        return self.executor._jobs_for(cell)
+
+    def finish_cell(self, cell: "CampaignCell", payloads: list) -> None:
+        """Serialise, persist, report, and fire progress for one cell."""
+        self.executor._finish_cell(cell, payloads, self.report, self.progress)
+
+    def report_cell(self, result: "CellResult") -> None:
+        """Report a cell finished *elsewhere* (already persisted —
+        e.g. written by a shard store and merged); fires progress."""
+        self.report.executed.append(result)
+        if self.progress is not None:
+            self.progress(result)
+
+    def cached_payload(self, job):
+        """Persistent-cache hit for ``job`` or None (hits are counted)."""
+        return self.executor._cached_payload(job, self.report, self.cache)
+
+    def record_executed(self, job, payload) -> None:
+        """Count one live execution; persist a simulation's result."""
+        self.executor._record_executed(job, payload, self.report, self.cache)
+
+    def resolve_job(self, job):
+        """One job's payload: cache hit or in-process execution."""
+        return self.executor._resolve_serial_job(job, self.report, self.cache)

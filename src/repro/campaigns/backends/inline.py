@@ -1,0 +1,25 @@
+"""Serial in-process campaign execution — the reference backend."""
+
+from __future__ import annotations
+
+from repro.campaigns.backends.base import ExecutionContext
+
+__all__ = ["InlineBackend"]
+
+
+class InlineBackend:
+    """Run every job in-process, in spec order.
+
+    No pool, no subprocesses, no shared memory: the cheapest path for
+    tiny sweeps, the mode the experiment runner uses to reproduce its
+    historical single-threaded behaviour exactly, and the debuggable
+    reference the other backends are bit-compared against (a breakpoint
+    lands in the same process; tracebacks are undecorated).
+    """
+
+    name = "inline"
+
+    def execute(self, ctx: ExecutionContext) -> None:
+        for cell in ctx.pending:
+            payloads = [ctx.resolve_job(job) for job in ctx.jobs_for(cell)]
+            ctx.finish_cell(cell, payloads)

@@ -1,0 +1,136 @@
+"""Process-pool campaign execution — one shared pool over all cells.
+
+This is the strategy PR 1 shipped inside the executor, extracted behind
+the :class:`~repro.campaigns.backends.base.Backend` protocol: every
+pending cell's jobs are built up front and submitted to ONE persistent
+:class:`~concurrent.futures.ProcessPoolExecutor`, so simulations
+interleave *across* cells (no per-cell pool spin-up, no idle workers at
+cell boundaries), persistent-cache hits resolve before the pool even
+exists, and a :class:`~repro.manet.shared.SharedRuntimeArena` gives
+every worker a read-only mapping of each scenario's precomputed
+substrate (DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import replace
+
+from repro.campaigns.backends.base import ExecutionContext
+from repro.manet.shared import SharedRuntimeArena
+
+__all__ = ["PoolBackend"]
+
+
+class PoolBackend:
+    """Batch all pending cells' jobs through one shared process pool."""
+
+    name = "pool"
+
+    def __init__(self, max_workers: int | None = None):
+        """``max_workers=None`` defers to the executor's setting (and
+        from there to the ``ProcessPoolExecutor`` default)."""
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+
+    def execute(self, ctx: ExecutionContext) -> None:
+        # The worker entry point is looked up through the executor module
+        # at submission time, so tests (and instrumentation) can swap it.
+        from repro.campaigns import executor as executor_mod
+
+        max_workers = self.max_workers or ctx.max_workers
+        # Build every job up front so the pool sees the whole campaign's
+        # work at once; buckets reassemble payloads per cell in job order.
+        jobs_by_cell = {cell.key: ctx.jobs_for(cell) for cell in ctx.pending}
+        cell_by_key = {cell.key: cell for cell in ctx.pending}
+        buckets: dict[str, dict[int, object]] = {
+            key: {} for key in jobs_by_cell
+        }
+        # Persistent-cache hits resolve before the pool exists; cells
+        # fully served from disk complete without a single worker.
+        submit: list = []
+        for key, jobs in jobs_by_cell.items():
+            for job in jobs:
+                stored = ctx.cached_payload(job)
+                if stored is not None:
+                    buckets[key][job.index] = stored
+                else:
+                    submit.append(job)
+        for cell in ctx.pending:
+            bucket = buckets[cell.key]
+            if len(bucket) == len(jobs_by_cell[cell.key]):
+                ctx.finish_cell(cell, [bucket[i] for i in sorted(bucket)])
+        if not submit:
+            return  # everything came from the cache: no pool, no arena
+        arena = None
+        if ctx.shared_runtimes:
+            # One shared-memory precompute per distinct pending scenario,
+            # created before the pool so workers fork with the segments
+            # (and the resource tracker) already in place.  None = shared
+            # memory unavailable; workers fall back per process.
+            arena = SharedRuntimeArena.create(
+                [
+                    j.scenario
+                    for j in submit
+                    if isinstance(j, executor_mod._SimJob)
+                ]
+            )
+        failures: dict[str, Exception] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {}
+                for job in submit:
+                    if arena is not None and isinstance(
+                        job, executor_mod._SimJob
+                    ):
+                        job = replace(
+                            job, handle=arena.handle_for(job.scenario)
+                        )
+                    futures[pool.submit(executor_mod._execute_job, job)] = job
+                remaining = set(futures)
+                try:
+                    while remaining:
+                        done, remaining = wait(
+                            remaining, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            job = futures[future]
+                            # A failed job fails its cell but never the
+                            # drain: every other cell still completes and
+                            # persists, keeping the resume contract (the
+                            # next run re-executes only the failed cells).
+                            try:
+                                payload = future.result()
+                            except Exception as exc:  # noqa: BLE001
+                                failures.setdefault(job.cell_key, exc)
+                                continue
+                            ctx.record_executed(job, payload)
+                            bucket = buckets[job.cell_key]
+                            bucket[job.index] = payload
+                            if (
+                                job.cell_key not in failures
+                                and len(bucket)
+                                == len(jobs_by_cell[job.cell_key])
+                            ):
+                                payloads = [bucket[i] for i in sorted(bucket)]
+                                ctx.finish_cell(
+                                    cell_by_key[job.cell_key], payloads
+                                )
+                except BaseException:
+                    # Finished cells are already on disk; don't burn
+                    # through the rest of the queue before re-raising.
+                    for future in remaining:
+                        future.cancel()
+                    raise
+        finally:
+            if arena is not None:
+                arena.close()
+        if failures:
+            details = "; ".join(
+                f"{key}: {exc!r}" for key, exc in sorted(failures.items())
+            )
+            raise RuntimeError(
+                f"{len(failures)} campaign cell(s) failed (completed cells "
+                f"were persisted and will be skipped on re-run) — {details}"
+            )

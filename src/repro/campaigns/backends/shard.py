@@ -1,0 +1,379 @@
+"""Sharded campaign execution: partition cells, merge stores back.
+
+The distributed seam the ROADMAP promised: a campaign's pending cells
+are partitioned into N **content-keyed shard specs** (a cell's shard is
+a pure function of its content key, so any machine partitioning the
+same spec derives the same shards), each shard runs against **its own**
+:class:`~repro.campaigns.store.ResultStore` directory with its own
+evaluation-cache sidecar handle (single writer per file), and the shard
+stores are merged back into the parent store with dedup-by-key and
+conflict detection (:meth:`ResultStore.merge_from`).
+
+Today the transport is local subprocesses — one
+:class:`~concurrent.futures.ProcessPoolExecutor` worker per shard, each
+running its shard's cells through an in-shard
+:class:`~repro.campaigns.executor.CampaignExecutor`.  Because a shard is
+fully described by ``(spec JSON, cell keys, store directory)``, a
+remote transport later needs only a new backend that ships
+:class:`ShardSpec`-shaped work over the wire and rsyncs the shard
+directories back; the partition, store layout, and merge semantics are
+already transport-agnostic (DESIGN.md §10).
+
+Crash behaviour mirrors the pool backend's cell isolation at shard
+granularity: a failed shard fails its cells, every completed shard (and
+every completed cell *inside* a failed shard — shard stores resume like
+any store) is merged and persisted, and the next run re-executes only
+what is missing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.campaigns.backends.base import ExecutionContext
+from repro.campaigns.spec import CampaignCell, CampaignSpec, canonical_json
+from repro.campaigns.store import ResultStore
+
+__all__ = ["ShardBackend", "ShardSpec", "partition_cells", "shard_index_for"]
+
+#: Subdirectory of the parent store that holds in-flight shard stores.
+SHARDS_DIR = "shards"
+
+
+def shard_index_for(cell_key: str, n_shards: int) -> int:
+    """The shard a cell belongs to — a pure function of its content key.
+
+    Hash-based (not round-robin over expansion order) so the assignment
+    is stable under any reordering or subsetting of the cell list: two
+    parties partitioning overlapping pending sets agree on every shared
+    cell's shard.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    digest = hashlib.sha1(cell_key.encode("utf-8")).hexdigest()
+    return int(digest, 16) % n_shards
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's worth of a campaign — self-describing and content-keyed."""
+
+    index: int
+    n_shards: int
+    cells: tuple[CampaignCell, ...]
+
+    @property
+    def cell_keys(self) -> tuple[str, ...]:
+        return tuple(cell.key for cell in self.cells)
+
+    @property
+    def key(self) -> str:
+        """Readable slug + hash of the shard's full contents.
+
+        Names the shard's store directory, so a leftover directory from
+        a crashed run is resumed only when the partition (same pending
+        cells, same shard count) is exactly reproduced — a changed
+        partition gets fresh directories and stale ones are swept on the
+        next successful merge.
+        """
+        digest = hashlib.sha1(
+            canonical_json(
+                {
+                    "index": self.index,
+                    "n_shards": self.n_shards,
+                    "cells": list(self.cell_keys),
+                }
+            ).encode("utf-8")
+        ).hexdigest()[:10]
+        return f"shard-{self.index:02d}of{self.n_shards:02d}-{digest}"
+
+
+def partition_cells(
+    cells: list[CampaignCell], n_shards: int
+) -> list[ShardSpec]:
+    """Partition cells into ``n_shards`` content-keyed shards.
+
+    Total and disjoint by construction (every cell lands in exactly one
+    shard via :func:`shard_index_for`); cells keep their input order
+    within a shard; empty shards are returned too (callers skip them)
+    so shard indices always run 0..n_shards-1.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    buckets: list[list[CampaignCell]] = [[] for _ in range(n_shards)]
+    for cell in cells:
+        buckets[shard_index_for(cell.key, n_shards)].append(cell)
+    return [
+        ShardSpec(index=i, n_shards=n_shards, cells=tuple(bucket))
+        for i, bucket in enumerate(buckets)
+    ]
+
+
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything a shard worker needs (picklable, self-contained)."""
+
+    spec_json: str
+    cell_keys: tuple[str, ...]
+    #: Shard store directory (None = storeless parent: results travel
+    #: back in-memory only).
+    root: str | None
+    #: Open a per-shard evaluation-cache sidecar?
+    use_cache: bool
+    #: Parent sidecar to preload read-only (warm start), or None.
+    warm_cache: str | None
+    #: Ad-hoc scale override (or None → cells resolve their named scale).
+    scale: object
+    mls_engine: str | None
+
+
+@dataclass(frozen=True)
+class _ShardResult:
+    """What one shard worker did (cell keys, records, live payloads)."""
+
+    #: ``(cell_key, records, payloads)`` for cells executed this run.
+    executed: tuple
+    #: Same shape for cells already complete in the shard store (a
+    #: resumed shard from a crashed earlier attempt); payloads are ().
+    resumed: tuple
+    cache_hits: int
+    simulations_executed: int
+
+
+def _run_shard(task: _ShardTask) -> _ShardResult:
+    """Worker entry point: run one shard's cells against its own store.
+
+    The shard owns its cache handle — its own ``evaluations.jsonl``
+    writer, warmed (memory-only) from the parent's sidecar — so the
+    single-writer-per-file contract holds with any number of concurrent
+    shards.  Cells run through a serial in-shard executor: parallelism
+    comes from running shards concurrently, not from nesting pools.
+    """
+    from repro.campaigns.executor import CampaignExecutor
+    from repro.tuning.cache import PersistentEvaluationCache
+
+    spec = CampaignSpec.from_json(task.spec_json)
+    store = ResultStore(task.root) if task.root is not None else None
+    cache = None
+    if task.use_cache and store is not None:
+        cache = PersistentEvaluationCache(store.eval_cache_path)
+        if task.warm_cache is not None:
+            cache.warm_from(task.warm_cache)
+    executor = CampaignExecutor(
+        spec,
+        store,
+        serial=True,
+        scale=task.scale,
+        mls_engine=task.mls_engine,
+        eval_cache=cache,
+        only_cells=task.cell_keys,
+    )
+    try:
+        report = executor.run()
+    finally:
+        if cache is not None:
+            cache.close()
+    executed = tuple(
+        (r.cell.key, r.records, r.payloads) for r in report.executed
+    )
+    resumed = ()
+    if store is not None and report.skipped:
+        # Cells complete in a leftover shard store from a crashed run:
+        # surface their records so the parent reports them as done.
+        resumed = tuple(
+            (cell.key, store.read_cell(cell), []) for cell in report.skipped
+        )
+    return _ShardResult(
+        executed=executed,
+        resumed=resumed,
+        cache_hits=report.cache_hits,
+        simulations_executed=report.simulations_executed,
+    )
+
+
+# --------------------------------------------------------------------- #
+class ShardBackend:
+    """Partition cells into per-store shards; run; merge back."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        max_workers: int | None = None,
+        keep_shards: bool = False,
+    ):
+        """``n_shards`` fixes the partition (and the parallelism: one
+        subprocess per non-empty shard, capped by ``max_workers`` or the
+        executor's setting).  ``keep_shards=True`` leaves the shard
+        stores under ``<store>/shards`` after a successful merge — the
+        inputs the standalone ``repro-aedb campaign merge`` command
+        operates on.
+        """
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.n_shards = int(n_shards)
+        self.max_workers = max_workers
+        self.keep_shards = keep_shards
+        self.name = f"shard:{self.n_shards}"
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _fully_cached(ctx: ExecutionContext, jobs: list) -> list | None:
+        """All-jobs-cached payloads for a cell, or None (probe only).
+
+        Unlike the pool backend, the unit shipped to a worker is a whole
+        cell, so the parent pre-resolves only cells it can finish
+        *entirely* from its cache; partially-cached cells ship wholesale
+        and the shard serves the cached part from its warm start.  The
+        probe does not touch report counters — hits are counted when the
+        cell is actually finished.
+        """
+        from repro.campaigns import executor as executor_mod
+
+        if ctx.cache is None:
+            return None
+        payloads = []
+        for job in jobs:
+            if not isinstance(job, executor_mod._SimJob):
+                return None  # tune jobs are never cached
+            stored = ctx.cache.get_metrics(job.scenario, job.params)
+            if stored is None:
+                return None
+            payloads.append(stored)
+        return payloads
+
+    def execute(self, ctx: ExecutionContext) -> None:
+        # 1. Parent-cache pre-filter: cells fully served from the cache
+        #    complete here, without a shard (and without a subprocess) —
+        #    a cached re-run spawns nothing and simulates nothing.
+        remaining: list[CampaignCell] = []
+        for cell in ctx.pending:
+            payloads = self._fully_cached(ctx, ctx.jobs_for(cell))
+            if payloads is not None:
+                ctx.report.cache_hits += len(payloads)
+                ctx.finish_cell(cell, payloads)
+            else:
+                remaining.append(cell)
+        if not remaining:
+            return
+        # 2. Content-keyed partition of what's left.
+        shards = [s for s in partition_cells(remaining, self.n_shards) if s.cells]
+        # Shard stores live under the parent store; a storeless run with
+        # a cache still gets (temporary) shard stores, so shards keep
+        # their warm-started sidecars and the run's cache still
+        # accumulates the new results — same contract as inline/pool.
+        tmp = None
+        if ctx.store is not None:
+            shards_root = ctx.store.root / SHARDS_DIR
+        elif ctx.cache is not None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-aedb-shards-")
+            shards_root = Path(tmp.name)
+        else:
+            shards_root = None  # fully in-memory: results return by IPC
+        use_cache = ctx.cache is not None and shards_root is not None
+        warm = None
+        if use_cache and Path(ctx.cache.path).exists():
+            warm = str(ctx.cache.path)
+        tasks = [
+            _ShardTask(
+                spec_json=ctx.spec.to_json(),
+                cell_keys=shard.cell_keys,
+                root=(
+                    str(shards_root / shard.key)
+                    if shards_root is not None
+                    else None
+                ),
+                use_cache=use_cache,
+                warm_cache=warm,
+                scale=ctx.scale_override,
+                mls_engine=ctx.mls_engine,
+            )
+            for shard in shards
+        ]
+        # 3. One subprocess per shard (in-process transport, for now).
+        max_workers = self.max_workers or ctx.max_workers
+        n_procs = min(len(tasks), max_workers or len(tasks))
+        results: dict[int, _ShardResult] = {}
+        failures: dict[str, Exception] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=n_procs) as pool:
+                futures = {
+                    pool.submit(_run_shard, task): shard
+                    for task, shard in zip(tasks, shards)
+                }
+                for future in as_completed(futures):
+                    shard = futures[future]
+                    try:
+                        results[shard.index] = future.result()
+                    except Exception as exc:  # noqa: BLE001
+                        # A failed shard fails its cells, never the run:
+                        # the other shards still complete and merge.
+                        failures[shard.key] = exc
+            # 4. Merge every shard store back — including a failed
+            #    shard's completed cells, which persist exactly like a
+            #    crashed campaign's and are skipped on re-run.  Shard
+            #    sidecar entries go to the run's *actual* cache file:
+            #    the store sidecar under eval_cache="auto", the shared
+            #    file under an explicit --cache (where inline and pool
+            #    would have appended them).
+            if shards_root is not None:
+                for shard in shards:
+                    shard_store = ResultStore(shards_root / shard.key)
+                    if not shard_store.spec_path.exists():
+                        continue  # shard died before writing anything
+                    if ctx.store is not None:
+                        ctx.store.merge_from(
+                            shard_store,
+                            eval_dest=(
+                                Path(ctx.cache.path)
+                                if ctx.cache is not None
+                                else None
+                            ),
+                        )
+                    elif ctx.cache is not None:
+                        ResultStore.merge_eval_files(
+                            Path(ctx.cache.path),
+                            shard_store.eval_cache_path,
+                        )
+                if (
+                    ctx.store is not None
+                    and not failures
+                    and not self.keep_shards
+                ):
+                    shutil.rmtree(shards_root, ignore_errors=True)
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+        # 5. Report (spec order is restored centrally by the executor).
+        from repro.campaigns.executor import CellResult
+
+        cell_by_key = {cell.key: cell for cell in remaining}
+        for shard in shards:
+            result = results.get(shard.index)
+            if result is None:
+                continue
+            ctx.report.cache_hits += result.cache_hits
+            ctx.report.simulations_executed += result.simulations_executed
+            for key, records, payloads in (*result.executed, *result.resumed):
+                ctx.report_cell(
+                    CellResult(
+                        cell=cell_by_key[key],
+                        records=records,
+                        payloads=payloads,
+                    )
+                )
+        if failures:
+            details = "; ".join(
+                f"{key}: {exc!r}" for key, exc in sorted(failures.items())
+            )
+            raise RuntimeError(
+                f"{len(failures)} campaign shard(s) failed (completed shards "
+                f"were merged and will be skipped on re-run) — {details}"
+            )

@@ -1,50 +1,53 @@
-"""Batched parallel execution of campaign cells.
+"""Campaign execution: resume filtering, job/record plumbing, backends.
 
 The executor expands a :class:`CampaignSpec`, skips every cell the
-:class:`ResultStore` already holds, and pushes the remaining work through
-**one** persistent process pool:
+:class:`ResultStore` already holds, and hands the remaining work to a
+pluggable execution **backend** (:mod:`repro.campaigns.backends`,
+DESIGN.md §10):
 
-* evaluate cells flatten into individual ``(scenario, params)``
-  simulation jobs, so workers interleave simulations *across* cells —
-  no per-cell pool spin-up, no idle workers at cell boundaries (the
-  failure mode of the per-evaluation ``pool.map`` fan-out in
-  :mod:`repro.tuning.evaluation`);
-* tune cells ship as one whole-optimiser job each (an optimiser's
-  evaluations are sequentially dependent, so the cell is the natural
-  grain) and share the same pool, filling it while simulation jobs of
-  other cells drain.
+* ``backend="inline"`` runs every job in-process in spec order — the
+  mode the experiment runner uses to reproduce its historical
+  single-threaded behaviour exactly, and the cheapest path for tiny
+  sweeps (``serial=True`` is the legacy spelling);
+* ``backend="pool"`` (the default) pushes all cells' jobs through ONE
+  persistent process pool: evaluate cells flatten into individual
+  ``(scenario, params)`` simulation jobs so workers interleave
+  simulations *across* cells, and tune cells ship as one
+  whole-optimiser job each, filling the pool while simulation jobs of
+  other cells drain;
+* ``backend="shard:N"`` partitions the cells into N content-keyed
+  shards, runs each against its own store directory in a subprocess,
+  and merges the shard stores back (dedup + conflict detection).
 
-Each cell's results are written to the store the moment its last job
-lands, so an interrupted campaign keeps everything finished so far and
-the next invocation re-runs only the missing cells.  Results are
-deterministic: job payloads are reassembled in job order, and every
-record derives only from ``(cell, payloads)`` — never from wall-clock or
-scheduling order (tune records carry a ``runtime_s`` diagnostic, which is
-the one intentionally non-reproducible field).
+Whatever the backend, each cell's results persist the moment its last
+job lands, so an interrupted campaign keeps everything finished so far
+and the next invocation re-runs only the missing cells.  Results are
+deterministic and **backend-independent**: job payloads are reassembled
+in job order, and every record derives only from ``(cell, payloads)`` —
+never from wall-clock or scheduling order (tune records carry a
+``runtime_s`` diagnostic, which is the one intentionally
+non-reproducible field).  ``tests/campaigns/test_backend_identity.py``
+pins all backends to byte-identical stores.
 
-``serial=True`` runs the same jobs in-process in spec order — the mode
-the experiment runner uses to reproduce its historical single-threaded
-behaviour exactly, and the cheapest path for tiny sweeps.
-
-Two transparent layers sit under the pool (DESIGN.md §9):
+Two transparent layers sit under every backend (DESIGN.md §9):
 
 * a :class:`~repro.manet.shared.SharedRuntimeArena` packs each pending
-  scenario's substrate into shared memory once, so every worker maps the
-  same precompute read-only instead of privately rebuilding it
+  scenario's substrate into shared memory once, so every pool worker
+  maps the same precompute read-only instead of privately rebuilding it
   (``shared_runtimes=False`` or ``REPRO_SHARED_RUNTIME=0`` opts out);
 * a :class:`~repro.tuning.cache.PersistentEvaluationCache` sidecar next
   to the store (``evaluations.jsonl``) records every simulation result,
   so re-running a grid — or a *different* campaign whose cells overlap
   on (scenario, params, seed) — serves those simulations from disk
-  without touching the pool.  Cached results are the exact stored
+  without touching a worker.  Cached results are the exact stored
   metrics, so resumed and fresh runs stay bit-identical.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -53,13 +56,12 @@ from repro.campaigns.store import ResultStore
 from repro.manet.aedb import AEDBParams
 from repro.manet.metrics import BroadcastMetrics, aggregate_metrics
 from repro.manet.scenarios import NetworkScenario
-from repro.manet.shared import (
-    SharedRuntimeArena,
-    SharedRuntimeHandle,
-    attach_runtime,
-)
+from repro.manet.shared import SharedRuntimeHandle, attach_runtime
 from repro.manet.simulator import BroadcastSimulator
 from repro.tuning.cache import PersistentEvaluationCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaigns.backends.base import Backend
 
 __all__ = ["CampaignExecutor", "CampaignRunReport", "CellResult"]
 
@@ -227,7 +229,7 @@ class CampaignRunReport:
 
 
 class CampaignExecutor:
-    """Run a campaign's pending cells through one shared process pool."""
+    """Run a campaign's pending cells through a pluggable backend."""
 
     def __init__(
         self,
@@ -239,6 +241,8 @@ class CampaignExecutor:
         mls_engine: str | None = None,
         eval_cache="auto",
         shared_runtimes: bool = True,
+        backend: "Backend | str | None" = None,
+        only_cells: Iterable[str] | None = None,
     ):
         """``store=None`` runs in memory (results only in the report).
 
@@ -254,6 +258,17 @@ class CampaignExecutor:
         and a :class:`~repro.tuning.cache.PersistentEvaluationCache` is
         used as-is.  ``shared_runtimes=False`` keeps pooled runs on
         per-process runtimes (no shared-memory arena).
+
+        ``backend`` selects the execution strategy
+        (:mod:`repro.campaigns.backends`): a :class:`Backend` instance
+        or one of ``"inline"``, ``"pool"``, ``"shard:N"``.  When None,
+        ``serial`` keeps its historical meaning (``True`` = inline) and
+        otherwise the spec's ``backend`` hint — or pool — applies.  An
+        explicit backend wins over both.
+
+        ``only_cells`` restricts the run to the named cell keys (every
+        key must belong to the spec) — the hook shard workers use to
+        execute their slice of a campaign.
         """
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
@@ -265,6 +280,8 @@ class CampaignExecutor:
         self.mls_engine = mls_engine
         self._eval_cache_spec = eval_cache
         self.shared_runtimes = shared_runtimes
+        self.backend = backend
+        self.only_cells = None if only_cells is None else tuple(only_cells)
 
     def _resolve_eval_cache(
         self,
@@ -316,15 +333,50 @@ class CampaignExecutor:
             )
         ]
 
+    def _selected_cells(self) -> list[CampaignCell]:
+        """The spec's cells, restricted to ``only_cells`` when set."""
+        cells = self.spec.cells()
+        if self.only_cells is None:
+            return cells
+        wanted = set(self.only_cells)
+        unknown = wanted - {c.key for c in cells}
+        if unknown:
+            raise ValueError(
+                f"only_cells names keys not in the spec: {sorted(unknown)}"
+            )
+        return [c for c in cells if c.key in wanted]
+
+    def _resolve_backend(self) -> "Backend":
+        """The execution strategy for this run (lazy import: no cycle).
+
+        Precedence: an explicit executor/CLI ``backend`` > ``serial=True``
+        (inline) > the spec's ``backend`` hint > pool.  ``serial`` must
+        outrank the spec hint: shard workers (and the experiment runner)
+        demand in-process execution of a spec that may itself say
+        ``"shard:N"`` — honouring the hint there would recurse.
+        """
+        from repro.campaigns.backends import resolve_backend
+
+        if self.backend is not None:
+            return resolve_backend(self.backend)
+        if self.serial:
+            return resolve_backend("inline")
+        return resolve_backend(self.spec.backend or "pool")
+
     # ------------------------------------------------------------------ #
     def run(self, progress=None) -> CampaignRunReport:
         """Execute every pending cell; return what happened.
 
         ``progress(cell_result)`` fires as each cell completes (spec
-        order when serial; completion order when parallel).
+        order on the inline backend; completion order otherwise).
+        ``report.executed`` is always in spec order, whatever the
+        backend's scheduling did.
         """
-        cells = self.spec.cells()
+        from repro.campaigns.backends.base import ExecutionContext
+
+        cells = self._selected_cells()
         self._check_algorithms(cells)
+        backend = self._resolve_backend()
         if self.store is not None:
             self.store.save_spec(self.spec)
             pending = [c for c in cells if not self.store.is_complete(c)]
@@ -337,12 +389,20 @@ class CampaignExecutor:
         if not pending:
             return report
         cache, owned = self._resolve_eval_cache()
+        ctx = ExecutionContext(
+            executor=self,
+            pending=pending,
+            report=report,
+            cache=cache,
+            progress=progress,
+        )
         try:
-            if self.serial:
-                self._run_serial(pending, report, progress, cache)
-            else:
-                self._run_pooled(pending, report, progress, cache)
+            backend.execute(ctx)
         finally:
+            # Spec order regardless of completion order — also on the
+            # failure path, so a partial report stays deterministic.
+            order = {cell.key: i for i, cell in enumerate(pending)}
+            report.executed.sort(key=lambda r: order[r.cell.key])
             if owned and cache is not None:
                 cache.close()
         return report
@@ -375,8 +435,8 @@ class CampaignExecutor:
         if progress is not None:
             progress(result)
 
-    # The serial and pooled paths share the cache bookkeeping through
-    # exactly these two hooks, so their reports can never diverge.
+    # Every backend shares the cache bookkeeping through exactly these
+    # hooks (via ExecutionContext), so reports can never diverge.
     @staticmethod
     def _cached_payload(job, report, cache):
         """A persistent-cache hit for ``job``, or None (= must execute)."""
@@ -403,110 +463,3 @@ class CampaignExecutor:
         payload = _execute_job(job)
         self._record_executed(job, payload, report, cache)
         return payload
-
-    def _run_serial(self, pending, report, progress, cache) -> None:
-        for cell in pending:
-            payloads = [
-                self._resolve_serial_job(job, report, cache)
-                for job in self._jobs_for(cell)
-            ]
-            self._finish_cell(cell, payloads, report, progress)
-
-    def _run_pooled(self, pending, report, progress, cache) -> None:
-        # Build every job up front so the pool sees the whole campaign's
-        # work at once; buckets reassemble payloads per cell in job order.
-        jobs_by_cell = {cell.key: self._jobs_for(cell) for cell in pending}
-        cell_by_key = {cell.key: cell for cell in pending}
-        buckets: dict[str, dict[int, object]] = {
-            key: {} for key in jobs_by_cell
-        }
-        # Persistent-cache hits resolve before the pool exists; cells
-        # fully served from disk complete without a single worker.
-        submit: list = []
-        for key, jobs in jobs_by_cell.items():
-            for job in jobs:
-                stored = self._cached_payload(job, report, cache)
-                if stored is not None:
-                    buckets[key][job.index] = stored
-                else:
-                    submit.append(job)
-        for cell in pending:
-            bucket = buckets[cell.key]
-            if len(bucket) == len(jobs_by_cell[cell.key]):
-                self._finish_cell(
-                    cell, [bucket[i] for i in sorted(bucket)],
-                    report, progress,
-                )
-        if not submit:
-            return  # everything came from the cache: no pool, no arena
-        arena = None
-        if self.shared_runtimes:
-            # One shared-memory precompute per distinct pending scenario,
-            # created before the pool so workers fork with the segments
-            # (and the resource tracker) already in place.  None = shared
-            # memory unavailable; workers fall back per process.
-            arena = SharedRuntimeArena.create(
-                [j.scenario for j in submit if isinstance(j, _SimJob)]
-            )
-        failures: dict[str, Exception] = {}
-        try:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = {}
-                for job in submit:
-                    if arena is not None and isinstance(job, _SimJob):
-                        job = replace(
-                            job, handle=arena.handle_for(job.scenario)
-                        )
-                    futures[pool.submit(_execute_job, job)] = job
-                remaining = set(futures)
-                try:
-                    while remaining:
-                        done, remaining = wait(
-                            remaining, return_when=FIRST_COMPLETED
-                        )
-                        for future in done:
-                            job = futures[future]
-                            # A failed job fails its cell but never the
-                            # drain: every other cell still completes and
-                            # persists, keeping the resume contract (the
-                            # next run re-executes only the failed cells).
-                            try:
-                                payload = future.result()
-                            except Exception as exc:  # noqa: BLE001
-                                failures.setdefault(job.cell_key, exc)
-                                continue
-                            self._record_executed(
-                                job, payload, report, cache
-                            )
-                            bucket = buckets[job.cell_key]
-                            bucket[job.index] = payload
-                            if (
-                                job.cell_key not in failures
-                                and len(bucket)
-                                == len(jobs_by_cell[job.cell_key])
-                            ):
-                                payloads = [bucket[i] for i in sorted(bucket)]
-                                self._finish_cell(
-                                    cell_by_key[job.cell_key], payloads,
-                                    report, progress,
-                                )
-                except BaseException:
-                    # Finished cells are already on disk; don't burn
-                    # through the rest of the queue before re-raising.
-                    for future in remaining:
-                        future.cancel()
-                    raise
-        finally:
-            if arena is not None:
-                arena.close()
-        # Report in spec order regardless of completion order.
-        order = {cell.key: i for i, cell in enumerate(pending)}
-        report.executed.sort(key=lambda r: order[r.cell.key])
-        if failures:
-            details = "; ".join(
-                f"{key}: {exc!r}" for key, exc in sorted(failures.items())
-            )
-            raise RuntimeError(
-                f"{len(failures)} campaign cell(s) failed (completed cells "
-                f"were persisted and will be skipped on re-run) — {details}"
-            )

@@ -189,6 +189,12 @@ class CampaignSpec:
     master_seed: int = 0xAEDB
     #: Scale preset name budgeting tune cells.
     scale: str = "quick"
+    #: Preferred execution backend ("inline", "pool", "shard:N"), or
+    #: None to defer to the executor/CLI.  An execution *hint*, not
+    #: content: cells (and their keys) ignore it — every backend
+    #: produces byte-identical results (DESIGN.md §10) — so it is
+    #: serialised only when set and never invalidates stored cells.
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         for axis, label in (
@@ -217,6 +223,12 @@ class CampaignSpec:
             )
         if EVALUATE in self.algorithms and not self.params:
             raise ValueError("evaluate campaigns need at least one params vector")
+        if self.backend is not None:
+            # Fail at declaration time, not mid-campaign: reuse the one
+            # canonical parser (lazy import: backends import this module).
+            from repro.campaigns.backends import resolve_backend
+
+            resolve_backend(self.backend)
 
     # ------------------------------------------------------------------ #
     @property
@@ -285,7 +297,7 @@ class CampaignSpec:
 
     # ------------------------------------------------------------------ #
     def as_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "densities": list(self.densities),
             "mobility_models": list(self.mobility_models),
@@ -298,6 +310,11 @@ class CampaignSpec:
             "master_seed": self.master_seed,
             "scale": self.scale,
         }
+        if self.backend is not None:
+            # Only when set: a backend-less spec round-trips to the
+            # historical JSON, so pre-§10 spec.json files still match.
+            data["backend"] = self.backend
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignSpec":
@@ -318,6 +335,7 @@ class CampaignSpec:
             ),
             master_seed=int(data.get("master_seed", 0xAEDB)),
             scale=data.get("scale", "quick"),
+            backend=data.get("backend"),
         )
 
     def to_json(self) -> str:

@@ -21,6 +21,22 @@ resume is simply "run the cells whose files lack a done marker".  Cell
 files are content-keyed by :attr:`CampaignCell.key`: editing the spec
 changes the keys, so stale results are never picked up by mistake.
 
+Reading is torn-tail tolerant, the same contract
+:class:`~repro.tuning.cache.PersistentEvaluationCache` applies to its
+sidecar: a final line cut mid-record (a crash during an external copy or
+merge) drops just that line and leaves the cell *incomplete* — never an
+error, and never a half-trusted read.  Damage earlier in the file marks
+the whole cell incomplete; either way the next run re-executes it and
+the atomic rewrite heals the file.
+
+:meth:`ResultStore.merge_from` folds another store — typically a shard
+store produced by the shard backend — into this one: complete cell files
+copy over byte-for-byte, cells present on both sides must be
+*byte-identical* (dedup) or the merge raises :class:`MergeConflictError`
+(a silently "winning" payload would break the campaign determinism
+contract), and the ``evaluations.jsonl`` sidecars merge key-by-key under
+the same dedup/conflict rule.
+
 All JSON is canonically encoded (sorted keys, fixed separators), which
 makes a re-run of the same spec + seed produce bit-identical files —
 the determinism contract the campaign tests pin down.
@@ -35,7 +51,34 @@ from pathlib import Path
 
 from repro.campaigns.spec import CampaignCell, CampaignSpec, canonical_json
 
-__all__ = ["ResultStore", "CampaignStatus"]
+__all__ = ["ResultStore", "CampaignStatus", "MergeConflictError", "MergeReport"]
+
+
+class MergeConflictError(ValueError):
+    """Two stores hold *different* completed payloads for the same key.
+
+    Raised instead of silently overwriting: a conflicting record means
+    the stores were produced by diverging code or inputs, and picking a
+    winner would hide the divergence.
+    """
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """What one :meth:`ResultStore.merge_from` call did."""
+
+    #: Root of the store that was merged in.
+    source: str
+    #: Complete cell files copied into this store.
+    cells_merged: int
+    #: Cells already present with byte-identical contents.
+    cells_deduped: int
+    #: Source cell files skipped because incomplete/torn (re-run later).
+    cells_skipped: int
+    #: Evaluation-cache entries appended to this store's sidecar.
+    eval_entries_merged: int
+    #: Evaluation-cache entries already present (identical payload).
+    eval_entries_deduped: int
 
 
 @dataclass(frozen=True)
@@ -120,8 +163,10 @@ class ResultStore:
     def read_cell(self, cell: CampaignCell) -> list[dict]:
         """The result records of a completed cell (raises if incomplete).
 
-        Single read: completeness (the terminal done marker) is checked
-        on the same parse that yields the records.
+        Single read: completeness (the terminal done marker, and no
+        torn or damaged lines) is checked on the same parse that yields
+        the records, so :meth:`read_cell` and :meth:`is_complete` can
+        never disagree about a file.
         """
         path = self.cell_path(cell)
         try:
@@ -130,11 +175,8 @@ class ResultStore:
             raise FileNotFoundError(
                 f"cell {cell.key} has no completed results under {self.root}"
             ) from None
-        try:
-            entries = [json.loads(line) for line in lines if line.strip()]
-        except json.JSONDecodeError:
-            entries = []
-        if not entries or entries[-1].get("kind") != "done":
+        entries = self._complete_entries(lines)
+        if entries is None:
             raise FileNotFoundError(
                 f"cell {cell.key} has no completed results under {self.root}"
             )
@@ -145,18 +187,191 @@ class ResultStore:
         self.cell_path(cell).unlink(missing_ok=True)
 
     def is_complete(self, cell: CampaignCell) -> bool:
-        """True when the cell file exists and ends with the done marker."""
+        """True when the cell file parses whole and ends with ``done``."""
         path = self.cell_path(cell)
-        if not path.exists():
+        try:
+            lines = path.read_text().splitlines()
+        except FileNotFoundError:
             return False
-        lines = path.read_text().splitlines()
-        for line in reversed(lines):
-            if line.strip():
+        return self._complete_entries(lines) is not None
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _parse_entries(lines: list[str]) -> tuple[list[dict], bool]:
+        """``(entries, damaged)`` from cell-file lines, tolerating a torn tail.
+
+        A final line cut mid-record — a crash during an external copy or
+        append, the exact failure mode the evaluation cache's loader
+        already tolerates — drops just that line (``damaged=True``).
+        An unparseable line anywhere *earlier* means the file cannot be
+        trusted at all and yields ``([], True)``.
+        """
+        content = [line for line in lines if line.strip()]
+        entries: list[dict] = []
+        for i, line in enumerate(content):
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(content) - 1:
+                    return entries, True  # torn tail: valid prefix stands
+                return [], True  # mid-file damage: trust nothing
+        return entries, False
+
+    @classmethod
+    def _complete_entries(cls, lines: list[str]) -> list[dict] | None:
+        """The file's entries iff it is a complete cell file, else None."""
+        entries, damaged = cls._parse_entries(lines)
+        if damaged or not entries or entries[-1].get("kind") != "done":
+            return None
+        return entries
+
+    # ------------------------------------------------------------------ #
+    def merge_from(
+        self,
+        source: "ResultStore | str | Path",
+        eval_dest: str | Path | None = None,
+    ) -> MergeReport:
+        """Fold another store's results into this one (dedup by key).
+
+        The operation behind ``repro-aedb campaign merge`` and the shard
+        backend's recombination step:
+
+        * the source's ``spec.json`` is adopted if this store has none,
+          and must match byte-for-byte if it does — one directory, one
+          campaign, same rule as :meth:`save_spec`;
+        * every *complete* source cell file is copied byte-for-byte
+          (atomic write); incomplete/torn source cells are skipped and
+          counted, never an error;
+        * a cell present on both sides must be byte-identical (counted
+          as dedup) — different completed payloads raise
+          :class:`MergeConflictError`.  An *incomplete* local copy is
+          replaced by the source's complete one;
+        * ``evaluations.jsonl`` sidecar entries merge key-by-key under
+          the same identical-or-conflict rule, preserving source order.
+          They land in this store's sidecar by default; ``eval_dest``
+          redirects them (the shard backend points it at the run's
+          actual cache file, which under ``--cache`` is *not* the
+          store's sidecar).
+
+        Merging is idempotent: re-merging the same source is all dedup
+        and changes nothing.  A source that is not a campaign directory
+        (missing, or lacking ``spec.json``) raises — a typo'd path must
+        not report a successful 0-cell merge.
+        """
+        src = source if isinstance(source, ResultStore) else ResultStore(source)
+        if not src.spec_path.exists():
+            raise FileNotFoundError(
+                f"{src.root} is not a campaign directory (no "
+                f"{self.SPEC_FILE}); nothing to merge"
+            )
+        text = src.spec_path.read_text()
+        if self.spec_path.exists():
+            if self.spec_path.read_text() != text:
+                raise MergeConflictError(
+                    f"{src.root} holds a different campaign spec than "
+                    f"{self.root}; merge only shards of one campaign"
+                )
+        else:
+            self.root.mkdir(parents=True, exist_ok=True)
+            (self.root / self.CELLS_DIR).mkdir(exist_ok=True)
+            self._write_atomic(self.spec_path, text)
+        merged = deduped = skipped = 0
+        src_cells_dir = src.root / self.CELLS_DIR
+        src_files = sorted(src_cells_dir.glob("*.jsonl")) if src_cells_dir.is_dir() else []
+        for path in src_files:
+            text = path.read_text()
+            entries = self._complete_entries(text.splitlines())
+            if entries is None:
+                skipped += 1
+                continue
+            head = entries[0]
+            if head.get("kind") != "cell" or f"{head.get('key')}.jsonl" != path.name:
+                skipped += 1  # foreign or mislabelled file: don't propagate
+                continue
+            dest = self.root / self.CELLS_DIR / path.name
+            if dest.exists():
+                dest_text = dest.read_text()
+                if dest_text == text:
+                    deduped += 1
+                    continue
+                if self._complete_entries(dest_text.splitlines()) is not None:
+                    raise MergeConflictError(
+                        f"cell {head['key']}: {path} and {dest} hold "
+                        "different completed results"
+                    )
+                # Local copy incomplete/torn: the complete source wins.
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            self._write_atomic(dest, text)
+            merged += 1
+        eval_merged, eval_deduped = self.merge_eval_files(
+            Path(eval_dest) if eval_dest is not None else self.eval_cache_path,
+            src.eval_cache_path,
+        )
+        return MergeReport(
+            source=str(src.root),
+            cells_merged=merged,
+            cells_deduped=deduped,
+            cells_skipped=skipped,
+            eval_entries_merged=eval_merged,
+            eval_entries_deduped=eval_deduped,
+        )
+
+    @staticmethod
+    def merge_eval_files(dest: Path, src: Path) -> tuple[int, int]:
+        """Merge one evaluation-cache file into another; ``(merged, deduped)``.
+
+        Line-level, matching the cache's own load contract: unparseable
+        lines (torn tails) are skipped, keys are deduped on identical
+        payload lines, and a key mapping to a *different* payload raises
+        :class:`MergeConflictError`.  Appended lines keep the source's
+        order, and the single append + flush keeps the sidecar's crash
+        contract (a torn tail is skipped by the next loader).  Writes
+        use a private ``O_APPEND`` handle of whole flushed lines, so a
+        live :class:`~repro.tuning.cache.PersistentEvaluationCache`
+        writer on ``dest`` cannot be torn by a concurrent merge (during
+        shard runs the executor's cache only reads anyway).
+        """
+        def entries_of(path: Path) -> dict[str, str]:
+            try:
+                text = path.read_text()
+            except FileNotFoundError:
+                return {}
+            out: dict[str, str] = {}
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
                 try:
-                    return json.loads(line).get("kind") == "done"
+                    key = json.loads(line).get("key")
                 except json.JSONDecodeError:
-                    return False
-        return False
+                    continue  # torn tail from a crash mid-append
+                if key is not None:
+                    out[key] = line
+            return out
+
+        src_entries = entries_of(src)
+        if not src_entries:
+            return 0, 0
+        dest_entries = entries_of(dest)
+        fresh: list[str] = []
+        deduped = 0
+        for key, line in src_entries.items():
+            have = dest_entries.get(key)
+            if have is None:
+                fresh.append(line)
+            elif have == line:
+                deduped += 1
+            else:
+                raise MergeConflictError(
+                    f"evaluation-cache entry {key}: {src} "
+                    f"and {dest} hold different payloads"
+                )
+        if fresh:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            with dest.open("a", encoding="utf-8") as fh:
+                fh.write("\n".join(fresh) + "\n")
+                fh.flush()
+        return len(fresh), deduped
 
     # ------------------------------------------------------------------ #
     def completed_cells(self, spec: CampaignSpec) -> list[CampaignCell]:

@@ -12,9 +12,11 @@ Subcommands map to the deliverables:
 * ``protocols``   — broadcast-storm baseline suite vs AEDB (Sect. I
   context);
 * ``campaign``    — declarative scenario-space sweeps (densities ×
-  mobility models × arenas × seeds × algorithms) with batched parallel
-  execution and a resumable result store: ``campaign run``,
-  ``campaign status``, ``campaign report``;
+  mobility models × arenas × seeds × algorithms) with pluggable
+  execution backends (``--backend {inline,pool,shard:N}``) and a
+  resumable result store: ``campaign run``, ``campaign status``,
+  ``campaign report``, ``campaign merge`` (fold shard stores into one
+  directory, dedup + conflict-checked);
 * ``cache``       — maintenance of the persistent evaluation cache
   (the ``evaluations.jsonl`` sidecar): ``cache stats``, ``cache flush``.
 
@@ -129,6 +131,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--serial", action="store_true", help="run in-process, no pool"
     )
+    run_p.add_argument(
+        "--backend", default=None, metavar="{inline,pool,shard:N}",
+        help="execution backend (default: pool; --serial = inline; "
+             "shard:N partitions the cells into N per-store shards "
+             "and merges them back)",
+    )
+    run_p.add_argument(
+        "--keep-shards", action="store_true",
+        help="keep shard stores under <out>/shards after merging "
+             "(shard backend only)",
+    )
     cache_group = run_p.add_mutually_exclusive_group()
     cache_group.add_argument(
         "--cache", default=None, metavar="PATH",
@@ -150,6 +163,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     report_p = camp_sub.add_parser("report", help="render completed results")
     report_p.add_argument("--out", required=True, help="campaign directory")
+
+    merge_p = camp_sub.add_parser(
+        "merge", help="merge shard stores into one campaign directory"
+    )
+    merge_p.add_argument(
+        "--out", required=True,
+        help="destination campaign directory (created if missing; "
+             "adopts the first source's spec)",
+    )
+    merge_p.add_argument(
+        "sources", nargs="+",
+        help="shard campaign directories (e.g. <out>/shards/*)",
+    )
 
     cache_p = sub.add_parser(
         "cache", help="persistent evaluation-cache maintenance"
@@ -320,8 +346,10 @@ def _cmd_campaign(args, scale) -> int:
     from repro.campaigns import (
         CampaignExecutor,
         ResultStore,
+        render_merge,
         render_report,
         render_status,
+        resolve_backend,
     )
 
     store = ResultStore(args.out)
@@ -331,10 +359,26 @@ def _cmd_campaign(args, scale) -> int:
     if args.campaign_command == "report":
         print(render_report(store.load_spec(), store))
         return 0
+    if args.campaign_command == "merge":
+        reports = [store.merge_from(source) for source in args.sources]
+        print(render_merge(store, reports))
+        print(render_status(store.load_spec(), store))
+        return 0
 
     spec = _campaign_spec_from_args(args, scale)
+    # --backend wins; otherwise the spec's own hint (a spec file may
+    # carry backend="shard:N") — resolved here so --keep-shards applies
+    # to either source.  --serial outranks the hint (same precedence as
+    # the executor's): "run in-process" must never shard.
+    backend = None
+    choice = args.backend
+    if choice is None and not args.serial:
+        choice = spec.backend
+    if choice is not None:
+        backend = resolve_backend(choice, keep_shards=args.keep_shards)
     executor = CampaignExecutor(
         spec, store, max_workers=args.workers, serial=args.serial,
+        backend=backend,
         eval_cache=(
             None if args.no_cache
             else args.cache if args.cache is not None

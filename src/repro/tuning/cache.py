@@ -192,11 +192,14 @@ class PersistentEvaluationCache:
         self._load()
 
     # ------------------------------------------------------------------ #
-    def _load(self) -> None:
+    @classmethod
+    def _read_entries(cls, path: Path) -> dict[str, BroadcastMetrics]:
+        """Parse one cache file (missing file / torn or foreign lines ok)."""
+        entries: dict[str, BroadcastMetrics] = {}
         try:
-            text = self.path.read_text()
+            text = path.read_text()
         except FileNotFoundError:
-            return
+            return entries
         for line in text.splitlines():
             line = line.strip()
             if not line:
@@ -205,13 +208,36 @@ class PersistentEvaluationCache:
                 obj = json.loads(line)
             except json.JSONDecodeError:
                 continue  # torn tail from a crash mid-append
-            if obj.get("v") != self.VERSION:
+            if obj.get("v") != cls.VERSION:
                 continue  # future/foreign format: ignore, don't fail
             try:
                 metrics = BroadcastMetrics(**obj["metrics"])
             except (KeyError, TypeError):
                 continue
-            self._entries[obj["key"]] = metrics
+            entries[obj["key"]] = metrics
+        return entries
+
+    def _load(self) -> None:
+        self._entries.update(self._read_entries(self.path))
+
+    def warm_from(self, path: str | Path) -> int:
+        """Preload entries from *another* cache file, memory only.
+
+        Nothing is written: hits on warmed entries are served from
+        memory and never re-appended, so this cache's own file stays
+        single-writer and append-only.  Keys already present keep their
+        current value.  This is how a shard backend's workers each own
+        their shard's sidecar while still starting warm from the parent
+        campaign's cache.  Returns the number of entries added.
+        """
+        loaded = self._read_entries(Path(path))
+        with self._lock:
+            added = 0
+            for key, metrics in loaded.items():
+                if key not in self._entries:
+                    self._entries[key] = metrics
+                    added += 1
+        return added
 
     @classmethod
     def simulation_key(

@@ -36,7 +36,12 @@ Two optional layers plug into both evaluators (DESIGN.md §9):
 * ``persistent=`` accepts a
   :class:`~repro.tuning.cache.PersistentEvaluationCache`, short-cutting
   any ``(scenario, params)`` simulation already recorded on disk —
-  across processes, runs, and campaigns.
+  across processes, runs, and campaigns.  The cache file is
+  single-writer: whoever constructs the evaluator owns the handle.  A
+  process that must *read* another party's cache without contending for
+  its file — a campaign shard worker warm-starting from the parent
+  campaign's sidecar (DESIGN.md §10) — opens its own cache and preloads
+  via :meth:`~repro.tuning.cache.PersistentEvaluationCache.warm_from`.
 """
 
 from __future__ import annotations

@@ -6,9 +6,7 @@ keys cover the full simulation input, torn tail lines are skipped, and
 a campaign re-run whose simulations are all cached executes none.
 """
 
-import hashlib
 import json
-from pathlib import Path
 
 import pytest
 
@@ -112,13 +110,6 @@ def tiny_spec(**overrides):
     return CampaignSpec(**defaults)
 
 
-def store_digests(root) -> dict:
-    return {
-        p.name: hashlib.sha1(p.read_bytes()).hexdigest()
-        for p in sorted(Path(root, "cells").glob("*.jsonl"))
-    }
-
-
 class TestCampaignIntegration:
     def test_sidecar_written_next_to_the_store(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -129,7 +120,7 @@ class TestCampaignIntegration:
 
     @pytest.mark.parametrize("serial", [True, False])
     def test_rerun_of_completed_campaign_runs_zero_simulations(
-        self, tmp_path, serial
+        self, tmp_path, serial, store_digests
     ):
         """The §9 acceptance property: same grid, fresh store, shared
         cache file => every cell rebuilt from disk, zero simulations,
@@ -182,7 +173,9 @@ class TestCampaignIntegration:
         assert report.cache_hits == 0
         assert report.simulations_executed == spec.n_cells * 2  # 2 networks
 
-    def test_shared_runtimes_off_is_bit_identical(self, tmp_path):
+    def test_shared_runtimes_off_is_bit_identical(
+        self, tmp_path, store_digests
+    ):
         spec = tiny_spec()
         CampaignExecutor(
             spec, ResultStore(tmp_path / "on"), max_workers=2,

@@ -1,7 +1,8 @@
-"""Campaign execution: determinism, resume, batching, tune cells."""
+"""Campaign execution: determinism, resume, batching, tune cells.
 
-import hashlib
-from pathlib import Path
+(Cross-backend byte-identity lives in ``test_backend_identity.py``;
+the ``store_digests`` probe is the shared conftest fixture.)
+"""
 
 import pytest
 
@@ -27,15 +28,8 @@ def tiny_spec(**overrides):
     return CampaignSpec(**defaults)
 
 
-def store_digests(root) -> dict:
-    return {
-        p.name: hashlib.sha1(p.read_bytes()).hexdigest()
-        for p in sorted(Path(root, "cells").glob("*.jsonl"))
-    }
-
-
 class TestDeterminism:
-    def test_same_spec_same_bytes(self, tmp_path):
+    def test_same_spec_same_bytes(self, tmp_path, store_digests):
         """Same spec + seed => bit-identical ResultStore contents."""
         spec = tiny_spec()
         for d in ("a", "b"):
@@ -45,13 +39,49 @@ class TestDeterminism:
         a, b = store_digests(tmp_path / "a"), store_digests(tmp_path / "b")
         assert a and a == b
 
-    def test_parallel_matches_serial_bytes(self, tmp_path):
+    def test_parallel_matches_serial_bytes(self, tmp_path, store_digests):
         spec = tiny_spec(n_seeds=2)
         CampaignExecutor(spec, ResultStore(tmp_path / "s"), serial=True).run()
         CampaignExecutor(
             spec, ResultStore(tmp_path / "p"), max_workers=2
         ).run()
         assert store_digests(tmp_path / "s") == store_digests(tmp_path / "p")
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            CampaignExecutor(tiny_spec(), backend="carrier-pigeon").run()
+
+    @pytest.mark.parametrize("bad", ["shard:0", "shard:x", "shard:-2"])
+    def test_bad_shard_count_rejected(self, bad):
+        with pytest.raises(ValueError, match="shard count"):
+            CampaignExecutor(tiny_spec(), backend=bad).run()
+
+    def test_serial_flag_is_inline_backend(self):
+        assert CampaignExecutor(tiny_spec(), serial=True)._resolve_backend().name == "inline"
+        assert CampaignExecutor(tiny_spec())._resolve_backend().name == "pool"
+        assert CampaignExecutor(
+            tiny_spec(), serial=True, backend="shard:3"
+        )._resolve_backend().name == "shard:3"  # explicit backend wins
+
+
+class TestOnlyCells:
+    def test_restricts_execution_to_the_named_keys(self, tmp_path):
+        spec = tiny_spec(n_seeds=1)
+        chosen = [c.key for c in spec.cells()[:2]]
+        store = ResultStore(tmp_path)
+        report = CampaignExecutor(
+            spec, store, serial=True, only_cells=chosen
+        ).run()
+        assert report.executed_keys == chosen
+        assert {c.key for c in store.completed_cells(spec)} == set(chosen)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="only_cells"):
+            CampaignExecutor(
+                tiny_spec(), serial=True, only_cells=("nope",)
+            ).run()
 
 
 class TestResume:
@@ -64,7 +94,9 @@ class TestResume:
         assert second.executed == []
         assert len(second.skipped) == spec.n_cells
 
-    def test_deleted_cell_reruns_alone_and_identically(self, tmp_path):
+    def test_deleted_cell_reruns_alone_and_identically(
+        self, tmp_path, store_digests
+    ):
         """Killing mid-campaign == a store with missing cells; the next
         invocation completes only those, reproducing the same bytes."""
         spec = tiny_spec()
@@ -89,6 +121,23 @@ class TestResume:
         path.write_text("\n".join(lines[:-1]) + "\n")
         report = CampaignExecutor(spec, store, serial=True).run()
         assert report.executed_keys == [victim.key]
+
+    def test_cell_torn_mid_record_reruns_identically(
+        self, tmp_path, store_digests
+    ):
+        """Regression: a cell file cut mid-record (torn tail) counts as
+        pending and the re-run restores the exact original bytes."""
+        spec = tiny_spec(n_seeds=1)
+        store = ResultStore(tmp_path)
+        CampaignExecutor(spec, store, serial=True).run()
+        before = store_digests(tmp_path)
+        victim = spec.cells()[2]
+        path = store.cell_path(victim)
+        text = path.read_text()
+        path.write_text(text[: int(len(text) * 0.6)])
+        report = CampaignExecutor(spec, store, serial=True).run()
+        assert report.executed_keys == [victim.key]
+        assert store_digests(tmp_path) == before
 
 
 class TestSharedPoolAcceptance:

@@ -115,6 +115,40 @@ class TestRoundTrip:
         assert CampaignSpec.from_file(path) == spec
 
 
+class TestBackendHint:
+    def test_roundtrips_and_leaves_cells_alone(self):
+        plain = tiny_spec()
+        hinted = tiny_spec(backend="shard:2")
+        assert CampaignSpec.from_json(hinted.to_json()) == hinted
+        # An execution hint, not content: same cells, same keys.
+        assert [c.key for c in hinted.cells()] == [
+            c.key for c in plain.cells()
+        ]
+        # Backend-less specs keep the historical JSON (old spec.json
+        # files still match byte-for-byte on resume).
+        assert "backend" not in plain.to_json()
+
+    def test_invalid_hint_rejected_at_declaration(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            tiny_spec(backend="abacus")
+
+    def test_hint_drives_executor_resolution(self):
+        from repro.campaigns import CampaignExecutor
+
+        spec = tiny_spec(backend="shard:2")
+        assert CampaignExecutor(spec)._resolve_backend().name == "shard:2"
+        # serial (shard workers, the experiment runner) outranks the
+        # hint — honouring it in a shard worker would recurse.
+        assert (
+            CampaignExecutor(spec, serial=True)._resolve_backend().name
+            == "inline"
+        )
+        assert (
+            CampaignExecutor(spec, backend="pool")._resolve_backend().name
+            == "pool"
+        )
+
+
 class TestCellScenarios:
     def test_scenarios_honour_the_cell(self):
         spec = tiny_spec(area_sides_m=(400.0,))

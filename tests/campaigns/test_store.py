@@ -94,6 +94,50 @@ class TestCellFiles:
         assert json.loads(lines[-1])["kind"] == "done"
 
 
+class TestTornTailTolerance:
+    """A torn final line is tolerated the way the evaluation cache's
+    loader tolerates it: the valid prefix parses, the cell just counts
+    as incomplete (and re-runs) — never an error."""
+
+    def write_complete(self, spec, store):
+        cell = spec.cells()[0]
+        store.save_spec(spec)
+        store.write_cell(cell, fake_records())
+        return cell, store.cell_path(cell)
+
+    def test_truncated_mid_record_is_incomplete_not_an_error(
+        self, spec, store
+    ):
+        """The regression case: the file is cut mid-record (a crash
+        during an external copy/merge), leaving a torn final line."""
+        cell, path = self.write_complete(spec, store)
+        text = path.read_text()
+        cut = text.index('"value"')  # inside the second record's JSON
+        path.write_text(text[:cut])
+        assert not store.is_complete(cell)
+        with pytest.raises(FileNotFoundError):
+            store.read_cell(cell)
+        # And the atomic rewrite heals it.
+        store.write_cell(cell, fake_records())
+        assert store.is_complete(cell)
+        assert len(store.read_cell(cell)) == 2
+
+    def test_midfile_damage_keeps_read_and_complete_consistent(
+        self, spec, store
+    ):
+        """Damage *before* the tail (done marker still last): the file
+        is untrusted as a whole — is_complete and read_cell must agree
+        it is incomplete (historically is_complete said True while
+        read_cell raised)."""
+        cell, path = self.write_complete(spec, store)
+        lines = path.read_text().splitlines()
+        lines[1] = '{"kind": "record", "index": 0, "val'  # torn mid-file
+        path.write_text("\n".join(lines) + "\n")
+        assert not store.is_complete(cell)
+        with pytest.raises(FileNotFoundError):
+            store.read_cell(cell)
+
+
 class TestCensus:
     def test_status_counts(self, spec, store):
         store.save_spec(spec)

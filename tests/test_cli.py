@@ -161,6 +161,20 @@ class TestCampaignCommand:
         with pytest.raises(FileNotFoundError):
             main(["campaign", "status", "--out", str(tmp_path / "nope")])
 
+    def test_backend_and_merge_flags_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "--out", "x", "--backend", "shard:4",
+             "--keep-shards"]
+        )
+        assert args.backend == "shard:4" and args.keep_shards
+        args = build_parser().parse_args(
+            ["campaign", "merge", "--out", "all", "s0", "s1"]
+        )
+        assert args.campaign_command == "merge"
+        assert args.sources == ["s0", "s1"]
+        with pytest.raises(SystemExit):  # merge needs at least one source
+            build_parser().parse_args(["campaign", "merge", "--out", "all"])
+
     def test_run_from_spec_file(self, capsys, tmp_path):
         from repro.campaigns import CampaignSpec
 
@@ -177,6 +191,148 @@ class TestCampaignCommand:
         )
         assert code == 0
         assert "'from-file'" in capsys.readouterr().out
+
+
+class TestCampaignBackends:
+    """``--backend`` / ``campaign merge`` exercised end-to-end."""
+
+    def run_args(self, out, *extra):
+        # 1 density x 2 mobility models x 3 seeds = 6 single-network cells.
+        return [
+            "campaign", "run", "--out", str(out),
+            "--densities", "100",
+            "--mobility", "random-walk,random-waypoint",
+            "--seeds", "3", "--networks", "1", "--nodes", "8",
+            "--workers", "2", *extra,
+        ]
+
+    def digests(self, out):
+        import hashlib
+        from pathlib import Path
+
+        return {
+            p.name: hashlib.sha1(p.read_bytes()).hexdigest()
+            for p in sorted(Path(out, "cells").glob("*.jsonl"))
+        }
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown backend"):
+            main(self.run_args(tmp_path / "x", "--backend", "smoke-signals"))
+
+    def test_inline_backend_runs(self, capsys, tmp_path):
+        out = tmp_path / "inline"
+        assert main(self.run_args(out, "--backend", "inline")) == 0
+        assert "6 cells executed" in capsys.readouterr().out
+
+    def test_spec_file_backend_hint_is_honoured(self, capsys, tmp_path):
+        """A spec.json carrying backend="shard:2" runs sharded without
+        any --backend flag (the spec is the campaign's one description)."""
+        from repro.campaigns import CampaignSpec
+
+        spec = CampaignSpec(
+            name="hinted", densities=(100,), n_seeds=3,
+            n_networks=1, n_nodes=8, backend="shard:2",
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        out = tmp_path / "camp"
+        code = main(
+            ["campaign", "run", "--out", str(out), "--spec", str(spec_path),
+             "--workers", "2", "--keep-shards"]
+        )
+        assert code == 0
+        assert "3 cells executed" in capsys.readouterr().out
+        assert (out / "shards").is_dir()  # it really ran sharded
+
+    def test_serial_outranks_the_spec_backend_hint(self, capsys, tmp_path):
+        """--serial means in-process: a spec hint of shard:N must not
+        spawn subprocesses (same precedence as the executor's)."""
+        from repro.campaigns import CampaignSpec
+
+        spec = CampaignSpec(
+            name="hinted", densities=(100,), n_seeds=2,
+            n_networks=1, n_nodes=8, backend="shard:2",
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        out = tmp_path / "camp"
+        code = main(
+            ["campaign", "run", "--out", str(out), "--spec", str(spec_path),
+             "--serial", "--keep-shards"]
+        )
+        assert code == 0
+        assert "2 cells executed" in capsys.readouterr().out
+        assert not (out / "shards").exists()  # inline: no shard stores
+
+    def test_shard_run_merge_roundtrip(self, capsys, tmp_path):
+        """shard:2 --keep-shards, then a standalone ``campaign merge``
+        of the shard stores reproduces the original store exactly."""
+        out = tmp_path / "sharded"
+        assert main(
+            self.run_args(out, "--backend", "shard:2", "--keep-shards")
+        ) == 0
+        text = capsys.readouterr().out
+        assert "6 cells executed" in text and "6/6 cells complete" in text
+        shard_dirs = sorted(p for p in (out / "shards").iterdir())
+        assert shard_dirs
+
+        merged = tmp_path / "merged"
+        code = main(
+            ["campaign", "merge", "--out", str(merged)]
+            + [str(d) for d in shard_dirs]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "total: 6 cells merged" in text
+        assert "6/6 cells complete" in text
+        assert self.digests(merged) == self.digests(out)
+
+    def test_merge_conflict_is_an_error(self, tmp_path):
+        from repro.campaigns import MergeConflictError
+
+        a, b = tmp_path / "a", tmp_path / "b"
+        assert main(self.run_args(a, "--backend", "inline")) == 0
+        assert main(self.run_args(b, "--backend", "inline")) == 0
+        # Tamper with one completed record in b: merging must refuse.
+        victim = sorted((b / "cells").glob("*.jsonl"))[0]
+        victim.write_text(victim.read_text().replace('"index":0', '"index":9'))
+        dest = tmp_path / "dest"
+        assert main(["campaign", "merge", "--out", str(dest), str(a)]) == 0
+        with pytest.raises(MergeConflictError):
+            main(["campaign", "merge", "--out", str(dest), str(b)])
+
+
+class TestCacheCommand:
+    """``cache stats|flush`` end-to-end against a real sidecar."""
+
+    def test_stats_and_flush_roundtrip(self, capsys, tmp_path):
+        out = tmp_path / "camp"
+        assert main(
+            ["campaign", "run", "--out", str(out), "--densities", "100",
+             "--seeds", "2", "--networks", "1", "--nodes", "8", "--serial"]
+        ) == 0
+        capsys.readouterr()
+        cache_path = str(out / "evaluations.jsonl")
+
+        assert main(["cache", "stats", "--path", cache_path]) == 0
+        text = capsys.readouterr().out
+        assert "entries: 2" in text
+        assert cache_path in text
+
+        assert main(["cache", "flush", "--path", cache_path]) == 0
+        assert "flushed 2 cached evaluations" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--path", cache_path]) == 0
+        text = capsys.readouterr().out
+        assert "entries: 0" in text and "on disk: 0 bytes" in text
+
+    def test_stats_on_missing_file_is_empty_not_an_error(
+        self, capsys, tmp_path
+    ):
+        assert main(
+            ["cache", "stats", "--path", str(tmp_path / "none.jsonl")]
+        ) == 0
+        assert "entries: 0" in capsys.readouterr().out
 
 
 class TestProtocolsCommand:
