@@ -99,12 +99,16 @@ def _execute_job(job):
     """Worker entry point: one simulation or one optimiser run.
 
     Simulation jobs carrying a shared-runtime handle map the parent's
-    one precompute; jobs without (or whose attach cannot be honoured)
-    resolve their scenario's :class:`~repro.manet.runtime.ScenarioRuntime`
+    one precompute (snapshot timeline, protocol RNG stream, and the
+    interval live-mask index, DESIGN.md §9/§11); jobs without (or whose
+    attach cannot be honoured) resolve their scenario's
+    :class:`~repro.manet.runtime.ScenarioRuntime`
     from the worker's per-process LRU instead, so cells that reference
     the same scenario — within a campaign or across param-sweep cells —
-    still share one precomputed beacon grid per worker.  Results are
-    bit-identical on every path.
+    still share one precomputed beacon grid per worker.  Workers run
+    the batched delivery path by default and honour the parent's
+    ``REPRO_BATCH_DELIVERIES`` / ``REPRO_LIVE_INDEX`` settings (read at
+    simulator construction).  Results are bit-identical on every path.
     """
     if isinstance(job, _SimJob):
         return BroadcastSimulator(

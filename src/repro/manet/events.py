@@ -29,6 +29,10 @@ class EventHandle:
         self.cancelled = True
 
 
+#: Shared handle for :meth:`EventQueue.post` events — never cancelled.
+_NEVER_CANCELLED = EventHandle()
+
+
 class EventQueue:
     """Time-ordered callback queue.
 
@@ -70,21 +74,40 @@ class EventQueue:
         heapq.heappush(self._heap, (time_s, next(self._counter), handle, callback))
         return handle
 
+    def post(self, time_s: float, callback: Callable[[float], None]) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellation handle.
+
+        Identical ordering and causality semantics; the event shares one
+        immortal never-cancelled handle, which spares the per-event
+        allocation on paths that never cancel (frame starts/ends, beacon
+        rounds — the bulk of a simulation's events).
+        """
+        if time_s < self._now:
+            raise ValueError(
+                f"cannot schedule at {time_s} (current time {self._now})"
+            )
+        heapq.heappush(
+            self._heap, (time_s, next(self._counter), _NEVER_CANCELLED, callback)
+        )
+
     def run_until(self, horizon_s: float) -> int:
         """Fire events with timestamp <= horizon; return how many fired."""
         fired_here = 0
-        while self._heap and self._heap[0][0] <= horizon_s:
-            time_s, _, handle, callback = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][0] <= horizon_s:
+            time_s, _, handle, callback = pop(heap)
             if handle.cancelled:
                 continue
             self._now = time_s
             callback(time_s)
             self._fired += 1
             fired_here += 1
-        # Advance the clock to the horizon even if nothing fired, so later
-        # scheduling honours causality relative to the horizon the caller
-        # has already observed.
-        self._now = max(self._now, horizon_s) if not self._heap else self._now
+        # Advance the clock to the horizon unconditionally: the caller has
+        # observed time ``horizon_s``, so a later ``schedule()`` before it
+        # would violate causality even when the heap still holds events
+        # (or cancelled tombstones) beyond the horizon.
+        self._now = max(self._now, horizon_s)
         return fired_here
 
     def run_all(self, hard_limit: int = 10_000_000) -> int:

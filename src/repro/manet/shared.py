@@ -16,11 +16,17 @@ workers a tiny picklable :class:`SharedRuntimeHandle`.  Workers call
 **read-only views into the shared pages** — zero copy, zero recompute,
 bit-identical metrics (DESIGN.md §9).
 
-Layout of one segment (all float64, C order)::
+Layout of one segment (C order; ``V`` = total interval-index breakpoint
+values across all ticks, ``B = V + T`` suffix blocks)::
 
-    rx_stack   (T, n, n)   per-tick rx_power snapshots, canonical order
-    seen_stack (T, n, n)   per-tick last_seen snapshots
-    doubles    (2n,)       raw uniform stream of the default protocol RNG
+    rx_stack      (T, n, n)  f8  per-tick rx_power snapshots, canonical order
+    seen_stack    (T, n, n)  f8  per-tick last_seen snapshots
+    doubles       (2n,)      f8  raw uniform stream of the default protocol RNG
+    index_counts  (T,)       i8  breakpoint values per tick
+    index_values  (V,)       f8  concatenated breakpoint values
+    index_degrees (B, n)     i8  per-suffix live-neighbour counts
+    index_totals  (B,)       i8  per-suffix total live entries
+    index_live    (B, n, n)  b1  per-suffix live matrices (DESIGN.md §11)
 
 Lifecycle and ownership rules:
 
@@ -96,6 +102,8 @@ SEGMENT_PREFIX = "repro-aedb-rt"
 _ENABLED = os.environ.get("REPRO_SHARED_RUNTIME", "1") != "0"
 
 _FLOAT = np.dtype(np.float64)
+_INT = np.dtype(np.int64)
+_BOOL = np.dtype(np.bool_)
 
 
 def shared_runtimes_enabled() -> bool:
@@ -128,24 +136,54 @@ class SharedRuntimeHandle:
     n_ticks: int
     #: Network size the segment was packed for.
     n_nodes: int
+    #: Total interval-index breakpoint values across all ticks (the
+    #: ragged dimension of the packed live index, DESIGN.md §11).
+    n_index_values: int
 
     def segment_nbytes(self) -> int:
         """Payload size of the segment this handle points at."""
-        t, n = self.n_ticks, self.n_nodes
-        return _FLOAT.itemsize * (2 * t * n * n + 2 * n)
+        _, total = _layout(self.n_ticks, self.n_nodes, self.n_index_values)
+        return total
 
 
-def _layout(n_ticks: int, n_nodes: int) -> tuple[tuple, int, int, int, int]:
-    """One segment's layout, as
-    ``(stack_shape, stack_bytes, doubles_offset, total_bytes, n_doubles)``:
-    the ``(T, n, n)`` shape of each snapshot stack, the byte size of one
-    stack (= the seen-stack's offset; rx starts at 0), where the doubles
-    begin, the payload size, and how many doubles follow."""
-    stack_shape = (n_ticks, n_nodes, n_nodes)
-    stack_bytes = _FLOAT.itemsize * n_ticks * n_nodes * n_nodes
-    doubles_off = 2 * stack_bytes
-    total = doubles_off + _FLOAT.itemsize * 2 * n_nodes
-    return stack_shape, stack_bytes, doubles_off, total, 2 * n_nodes
+def _layout(
+    n_ticks: int, n_nodes: int, n_index_values: int
+) -> tuple[dict[str, tuple[int, tuple[int, ...], np.dtype]], int]:
+    """One segment's field layout: ``({name: (offset, shape, dtype)},
+    total_bytes)`` in pack order.  Shared by the packer and the
+    rehydrator so the two sides can never disagree byte-for-byte."""
+    t, n, v = n_ticks, n_nodes, n_index_values
+    b = v + t  # one suffix block per breakpoint value + the all-expired tail
+    fields: dict[str, tuple[int, tuple[int, ...], np.dtype]] = {}
+    offset = 0
+    for name, shape, dtype in (
+        ("rx_stack", (t, n, n), _FLOAT),
+        ("seen_stack", (t, n, n), _FLOAT),
+        ("doubles", (2 * n,), _FLOAT),
+        ("index_counts", (t,), _INT),
+        ("index_values", (v,), _FLOAT),
+        ("index_degrees", (b, n), _INT),
+        ("index_totals", (b,), _INT),
+        ("index_live", (b, n, n), _BOOL),
+    ):
+        fields[name] = (offset, shape, dtype)
+        offset += int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    return fields, offset
+
+
+def _segment_views(
+    shm: shared_memory.SharedMemory, handle_or_shape
+) -> dict[str, np.ndarray]:
+    """Numpy views over one segment's fields, by layout name."""
+    if isinstance(handle_or_shape, SharedRuntimeHandle):
+        h = handle_or_shape
+        fields, _ = _layout(h.n_ticks, h.n_nodes, h.n_index_values)
+    else:
+        fields, _ = _layout(*handle_or_shape)
+    return {
+        name: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+        for name, (offset, shape, dtype) in fields.items()
+    }
 
 
 def _unlink_segments(segments: list[shared_memory.SharedMemory]) -> None:
@@ -227,9 +265,9 @@ class SharedRuntimeArena:
     ) -> None:
         n_ticks = runtime.n_beacon_rounds
         n = scenario.n_nodes
-        stack_shape, stack_bytes, doubles_off, total, n_doubles = _layout(
-            n_ticks, n
-        )
+        counts, values, live, degrees, totals = runtime.live_index_stacks()
+        n_index_values = int(counts.sum())
+        _, total = _layout(n_ticks, n, n_index_values)
         shm = None
         for _attempt in range(3):
             # "/" + prefix(13) + "-" + 8-hex token + "-" + hex seq stays
@@ -250,21 +288,21 @@ class SharedRuntimeArena:
         self._segments.append(shm)  # registered before writing: close()
         # cleans up even if packing below fails
         rx_stack, seen_stack = runtime.snapshot_stacks()
-        rx_view = np.ndarray(stack_shape, dtype=_FLOAT, buffer=shm.buf)
-        seen_view = np.ndarray(
-            stack_shape, dtype=_FLOAT, buffer=shm.buf, offset=stack_bytes
-        )
-        doubles_view = np.ndarray(
-            (n_doubles,), dtype=_FLOAT, buffer=shm.buf, offset=doubles_off
-        )
-        rx_view[:] = rx_stack
-        seen_view[:] = seen_stack
-        doubles_view[:] = runtime.protocol_doubles
+        views = _segment_views(shm, (n_ticks, n, n_index_values))
+        views["rx_stack"][:] = rx_stack
+        views["seen_stack"][:] = seen_stack
+        views["doubles"][:] = runtime.protocol_doubles
+        views["index_counts"][:] = counts
+        views["index_values"][:] = values
+        views["index_degrees"][:] = degrees
+        views["index_totals"][:] = totals
+        views["index_live"][:] = live
         # Drop the exported views before the segment can be closed
         # (mmap refuses to unmap while buffer exports exist).
-        del rx_view, seen_view, doubles_view
+        del views
         self._handles[scenario] = SharedRuntimeHandle(
-            name=shm.name, n_ticks=n_ticks, n_nodes=n
+            name=shm.name, n_ticks=n_ticks, n_nodes=n,
+            n_index_values=n_index_values,
         )
 
     # ------------------------------------------------------------------ #
@@ -394,22 +432,25 @@ def _rehydrate(
             f"segment packed for {handle.n_nodes} nodes, "
             f"scenario has {scenario.n_nodes}"
         )
-    stack_shape, stack_bytes, doubles_off, total, n_doubles = _layout(
-        handle.n_ticks, handle.n_nodes
-    )
+    _, total = _layout(handle.n_ticks, handle.n_nodes, handle.n_index_values)
     if shm.size < total:  # tampered / foreign segment
         raise ValueError(f"segment {handle.name} smaller than its layout")
-    rx_stack = np.ndarray(stack_shape, dtype=_FLOAT, buffer=shm.buf)
-    seen_stack = np.ndarray(
-        stack_shape, dtype=_FLOAT, buffer=shm.buf, offset=stack_bytes
+    views = _segment_views(shm, handle)
+    for view in views.values():
+        view.setflags(write=False)
+    return ScenarioRuntime.from_shared(
+        scenario,
+        views["rx_stack"],
+        views["seen_stack"],
+        views["doubles"],
+        live_index=(
+            views["index_counts"],
+            views["index_values"],
+            views["index_live"],
+            views["index_degrees"],
+            views["index_totals"],
+        ),
     )
-    doubles = np.ndarray(
-        (n_doubles,), dtype=_FLOAT, buffer=shm.buf, offset=doubles_off
-    )
-    rx_stack.setflags(write=False)
-    seen_stack.setflags(write=False)
-    doubles.setflags(write=False)
-    return ScenarioRuntime.from_shared(scenario, rx_stack, seen_stack, doubles)
 
 
 def attached_runtime_count() -> int:

@@ -28,7 +28,7 @@ from repro.manet.aedb import AEDBParams, AEDBProtocol
 from repro.manet.beacons import NeighborTables
 from repro.manet.config import SimulationConfig
 from repro.manet.events import EventQueue
-from repro.manet.medium import Frame, RadioMedium
+from repro.manet.medium import Frame, RadioMedium, batched_deliveries_enabled
 from repro.manet.metrics import BroadcastMetrics
 from repro.manet.mobility import MobilityModel
 from repro.manet.runtime import (
@@ -52,10 +52,18 @@ class BroadcastSimulator:
         mobility: MobilityModel | None = None,
         runtime: ScenarioRuntime | None = None,
         record_decisions: bool = False,
+        batched: bool | None = None,
+        live_index: bool | None = None,
     ):
         """``record_decisions`` opts into the protocol's per-event decision
         log (off by default: evaluation loops never read it and the
-        per-event formatting is measurable)."""
+        per-event formatting is measurable).  ``batched`` /
+        ``live_index`` override the vectorised warm path's env defaults
+        (``REPRO_BATCH_DELIVERIES`` / ``REPRO_LIVE_INDEX``, both on):
+        batched wires frame resolution to
+        :meth:`~repro.manet.aedb.AEDBProtocol.on_receive_batch`,
+        live_index serves neighbour queries from the runtime's interval
+        index — either way the metrics are bit-identical (DESIGN.md §11)."""
         self.scenario = scenario
         self.params = params
         self._sim: SimulationConfig = scenario.sim
@@ -75,13 +83,16 @@ class BroadcastSimulator:
             )
             self._protocol_rng = np.random.default_rng(seed)
 
+        batched = batched_deliveries_enabled() if batched is None else bool(batched)
         self.queue = EventQueue()
         self.tables = NeighborTables(
-            scenario.n_nodes, self._sim, self._mobility, runtime=runtime
+            scenario.n_nodes, self._sim, self._mobility, runtime=runtime,
+            use_live_index=live_index,
         )
         self.medium = RadioMedium(
             self.queue, self._mobility, self._sim.radio, self._deliver,
             runtime=runtime,
+            on_delivery_batch=self._deliver_batch if batched else None,
         )
         self.protocol = AEDBProtocol(
             params=params,
@@ -100,13 +111,19 @@ class BroadcastSimulator:
     def _deliver(self, receiver: int, frame: Frame, rx_dbm: float, t: float) -> None:
         self.protocol.on_receive(receiver, frame.sender, rx_dbm, t)
 
+    def _deliver_batch(
+        self, receivers: np.ndarray, frame: Frame, rx_dbm: np.ndarray, t: float
+    ) -> None:
+        self.protocol.on_receive_batch(receivers, frame.sender, rx_dbm, t)
+
     def _transmit(self, sender: int, power_dbm: float, t: float) -> None:
         # Protocol asks for a transmission "now" (or now + jitter); the
         # medium schedules the frame-end resolution on the queue.
-        if t <= self.queue.now:
-            self.medium.transmit(sender, power_dbm, self.queue.now)
+        now = self.queue.now
+        if t <= now:
+            self.medium.transmit(sender, power_dbm, now)
         else:
-            self.queue.schedule(
+            self.queue.post(
                 t, lambda fire_t, s=sender, p=power_dbm: self.medium.transmit(s, p, fire_t)
             )
 

@@ -159,8 +159,11 @@ class NetworkSetEvaluator:
             if stored is None:
                 # The shared runtime (per-process bounded LRU) makes
                 # every evaluation after the first on a scenario skip
-                # the whole parameter-independent substrate; results are
-                # bit-identical.
+                # the whole parameter-independent substrate, and the
+                # simulator runs the vectorised protocol warm path
+                # (batched deliveries + interval live-mask index,
+                # DESIGN.md §11) on top of it; results are
+                # bit-identical on every combination of those layers.
                 stored = BroadcastSimulator(
                     scenario, params, runtime=get_runtime(scenario)
                 ).run()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.manet.beacons import NeighborTables
+from repro.manet.beacons import NeighborTables, freshness_mask
 from repro.manet.config import SimulationConfig
 from repro.manet.mobility import StaticMobility
 from repro.utils.units import DBM_MINUS_INF
@@ -53,6 +53,61 @@ class TestExpiry:
         tables.beacon_round(0.0)
         tables.beacon_round(1.0)
         assert tables.degree(0, 1.0 + sim.neighbor_expiry_s - 0.1) == 1
+
+
+class TestFreshnessPredicate:
+    """Regression: the freshness predicate used to be duplicated between
+    live_mask and mean_degree (and could drift in expiry/boundary
+    semantics); all consumers — including the interval live index — now
+    route through :func:`freshness_mask`, boundary inclusive."""
+
+    def test_boundary_time_is_still_fresh(self):
+        # An entry seen exactly ``expiry`` ago is live (<=, not <).
+        assert bool(freshness_mask(1.0, 3.0, 2.0))
+        assert not bool(freshness_mask(1.0, np.nextafter(3.0, 4.0), 2.0))
+
+    def test_live_mask_and_mean_degree_agree_at_boundary(self):
+        sim = SimulationConfig()
+        tables, _ = make_tables([[0, 0], [50, 0]], sim=sim)
+        tables.beacon_round(0.0)
+        boundary = 0.0 + sim.neighbor_expiry_s
+        assert tables.live_mask(0, boundary)[1]
+        assert tables.degree(0, boundary) == 1
+        assert tables.mean_degree(boundary) == pytest.approx(1.0)
+        past = np.nextafter(boundary, boundary + 1.0)
+        assert not tables.live_mask(0, past)[1]
+        assert tables.degree(0, past) == 0
+        assert tables.mean_degree(past) == 0.0
+
+    def test_indexed_tables_agree_with_scan_at_boundary(self):
+        from repro.manet import make_scenarios
+        from repro.manet.runtime import ScenarioRuntime
+
+        scenario = make_scenarios(100, n_networks=1, n_nodes=12)[0]
+        runtime = ScenarioRuntime(scenario)
+        indexed = NeighborTables(
+            12, scenario.sim, runtime.mobility, runtime=runtime,
+            use_live_index=True,
+        )
+        scanned = NeighborTables(
+            12, scenario.sim, runtime.mobility, runtime=runtime,
+            use_live_index=False,
+        )
+        t0 = runtime.beacon_times[0]
+        indexed.beacon_round(t0)
+        scanned.beacon_round(t0)
+        for t in (
+            t0,
+            t0 + scenario.sim.neighbor_expiry_s,
+            np.nextafter(t0 + scenario.sim.neighbor_expiry_s, np.inf),
+            t0 + 10 * scenario.sim.neighbor_expiry_s,
+        ):
+            for i in range(12):
+                np.testing.assert_array_equal(
+                    indexed.live_mask(i, t), scanned.live_mask(i, t)
+                )
+                assert indexed.degree(i, t) == scanned.degree(i, t)
+            assert indexed.mean_degree(t) == scanned.mean_degree(t)
 
 
 class TestLinkLoss:

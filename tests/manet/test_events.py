@@ -64,6 +64,56 @@ class TestHorizon:
         assert log == [5.0]
 
 
+class TestHorizonClockAdvance:
+    """Regression: run_until must advance ``now`` to the horizon even
+    while the heap still holds events (or tombstones) beyond it —
+    otherwise a later schedule() can book an event *before* a horizon
+    the caller already observed."""
+
+    def test_now_reaches_horizon_with_pending_event_beyond(self):
+        q = EventQueue()
+        q.schedule(10.0, lambda t: None)
+        q.run_until(5.0)
+        assert q.now == 5.0
+        with pytest.raises(ValueError, match="cannot schedule"):
+            q.schedule(4.0, lambda t: None)
+
+    def test_now_reaches_horizon_with_cancelled_tombstone_beyond(self):
+        q = EventQueue()
+        q.schedule(10.0, lambda t: None).cancel()
+        q.run_until(5.0)
+        assert q.now == 5.0
+        with pytest.raises(ValueError, match="cannot schedule"):
+            q.schedule(4.9, lambda t: None)
+
+    def test_earlier_horizon_does_not_rewind(self):
+        q = EventQueue()
+        q.schedule(3.0, lambda t: None)
+        q.run_until(5.0)
+        q.run_until(4.0)  # looking backwards must not rewind the clock
+        assert q.now == 5.0
+
+
+class TestPost:
+    def test_post_fires_in_order_without_handle(self):
+        q = EventQueue()
+        log = []
+        q.post(2.0, lambda t: log.append(("b", t)))
+        q.post(1.0, lambda t: log.append(("a", t)))
+        handle = q.schedule(1.0, lambda t: log.append(("h", t)))
+        assert handle is not None
+        assert q.pending == 3
+        q.run_all()
+        assert log == [("a", 1.0), ("h", 1.0), ("b", 2.0)]
+
+    def test_post_rejects_scheduling_in_past(self):
+        q = EventQueue()
+        q.schedule(2.0, lambda t: None)
+        q.run_all()
+        with pytest.raises(ValueError, match="cannot schedule"):
+            q.post(1.0, lambda t: None)
+
+
 class TestCancellation:
     def test_cancelled_event_skipped(self):
         q = EventQueue()

@@ -1,0 +1,143 @@
+"""Property-based contracts for the vectorised protocol warm path.
+
+Hypothesis (derandomized, like tests/campaigns/test_backend_properties.py)
+over the PR-5 invariant (DESIGN.md §11): for *random* scenarios and
+parameter vectors,
+
+* batched deliveries and per-event deliveries produce identical
+  protocol decision logs and metrics;
+* indexed and scanned live-mask queries agree at arbitrary query times —
+  including after the tables leave the canonical timeline through
+  off-grid beacon rounds (where the index must disengage for good).
+
+Networks are kept tiny (hypothesis runs many examples); the dense
+configurations live in test_runtime.py and the benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.manet import AEDBParams, make_scenarios
+from repro.manet.beacons import NeighborTables
+from repro.manet.runtime import ScenarioRuntime
+from repro.manet.simulator import BroadcastSimulator
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Parameter vectors drawn from the Table III box.
+params_strategy = st.builds(
+    AEDBParams,
+    min_delay_s=st.floats(0.0, 1.0),
+    max_delay_s=st.floats(0.0, 5.0),
+    border_threshold_dbm=st.floats(-95.0, -70.0),
+    margin_threshold_db=st.floats(0.0, 3.0),
+    neighbors_threshold=st.floats(0.0, 50.0),
+)
+
+MOBILITY = ("random-walk", "random-waypoint", "gauss-markov")
+
+
+def scenario_for(seed: int, n_nodes: int, mobility: str):
+    return make_scenarios(
+        100,
+        n_networks=1,
+        master_seed=seed,
+        n_nodes=n_nodes,
+        mobility_model=mobility,
+    )[0]
+
+
+class TestBatchedEqualsPerEvent:
+    @given(
+        params=params_strategy,
+        seed=st.integers(0, 2**16),
+        n_nodes=st.integers(4, 24),
+        mobility=st.sampled_from(MOBILITY),
+    )
+    @SETTINGS
+    def test_decision_logs_and_metrics_identical(
+        self, params, seed, n_nodes, mobility
+    ):
+        scenario = scenario_for(seed, n_nodes, mobility)
+        runtime = ScenarioRuntime(scenario)
+        reference = BroadcastSimulator(
+            scenario, params, batched=False, live_index=False,
+            record_decisions=True,
+        )
+        expected = reference.run()
+        for rt in (None, runtime):
+            for batched, live_index in (
+                (True, True),
+                (True, False),
+                (False, True),
+            ):
+                sim = BroadcastSimulator(
+                    scenario, params, runtime=rt,
+                    batched=batched, live_index=live_index,
+                    record_decisions=True,
+                )
+                assert sim.run() == expected
+                assert sim.protocol.decisions == reference.protocol.decisions
+
+
+class TestIndexedEqualsScanned:
+    @given(
+        seed=st.integers(0, 2**16),
+        n_nodes=st.integers(4, 20),
+        n_canonical=st.integers(0, 8),
+        off_grid_offsets=st.lists(
+            st.floats(0.01, 0.99), min_size=0, max_size=3
+        ),
+        query_offsets=st.lists(
+            st.floats(0.0, 12.0), min_size=1, max_size=6
+        ),
+    )
+    @SETTINGS
+    def test_live_queries_identical_even_after_divergence(
+        self, seed, n_nodes, n_canonical, off_grid_offsets, query_offsets
+    ):
+        """Replay a canonical prefix, then (possibly) leave the timeline
+        through off-grid rounds; every subsequent query must equal the
+        scan-only tables, which themselves equal a runtime-less table by
+        the PR-2 invariant."""
+        scenario = scenario_for(seed, n_nodes, "random-walk")
+        runtime = ScenarioRuntime(scenario)
+        indexed = NeighborTables(
+            n_nodes, scenario.sim, runtime.mobility, runtime=runtime,
+            use_live_index=True,
+        )
+        scanned = NeighborTables(
+            n_nodes, scenario.sim, runtime.mobility, runtime=runtime,
+            use_live_index=False,
+        )
+        rounds = list(runtime.beacon_times[:n_canonical])
+        last = rounds[-1] if rounds else 0.0
+        # Off-grid rounds diverge the timeline for good (beacon rounds
+        # must be non-decreasing in time, like the event queue fires
+        # them).
+        for offset in sorted(off_grid_offsets):
+            rounds.append(last + offset)
+        for t in rounds:
+            indexed.beacon_round(t)
+            scanned.beacon_round(t)
+        np.testing.assert_array_equal(indexed.last_seen, scanned.last_seen)
+        t_base = rounds[-1] if rounds else 0.0
+        for offset in query_offsets:
+            t = t_base + offset
+            for i in range(n_nodes):
+                np.testing.assert_array_equal(
+                    indexed.live_mask(i, t), scanned.live_mask(i, t)
+                )
+                assert indexed.degree(i, t) == scanned.degree(i, t)
+                np.testing.assert_array_equal(
+                    indexed.neighbors_of(i, t), scanned.neighbors_of(i, t)
+                )
+            assert indexed.mean_degree(t) == scanned.mean_degree(t)
