@@ -1,0 +1,73 @@
+"""Shared helpers for the ``BENCH_*.json`` perf records.
+
+Every benchmark that persists a record writes the same envelope::
+
+    {
+      "benchmark": "<name>",
+      "host": {"cpu_cores": ..., "python": ..., "numpy": ...},
+      "results": {...}
+    }
+
+so downstream tooling (and the next PR's reader) can consume any record
+without knowing which benchmark wrote it.  ``update_record`` merges
+follow-up measurements into an existing record and tolerates the
+pre-envelope flat layout of records committed by earlier PRs — merging
+into a legacy file upgrades it in place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["host_info", "write_record", "update_record"]
+
+
+def host_info() -> dict:
+    """The measurement host: what the wall-clock numbers depend on."""
+    return {
+        "cpu_cores": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def write_record(path: str | Path, benchmark: str, results: dict) -> None:
+    """Write one ``BENCH_*.json`` record in the shared envelope."""
+    record = {
+        "benchmark": benchmark,
+        "host": host_info(),
+        "results": results,
+    }
+    Path(path).write_text(json.dumps(record, indent=2) + "\n")
+
+
+def update_record(path: str | Path, updates: dict) -> bool:
+    """Merge ``updates`` into an existing record's results.
+
+    Returns False (merging nothing) when the record does not exist —
+    quick-scale runs never create records, so a follow-up test on a
+    quick run has nothing to update.  Legacy flat records (no
+    ``results`` envelope) are upgraded: their payload keys move under
+    ``results`` and a ``host`` block is added.
+    """
+    path = Path(path)
+    if not path.exists():
+        return False
+    record = json.loads(path.read_text())
+    if not isinstance(record.get("results"), dict):
+        legacy = {
+            k: v for k, v in record.items() if k not in ("benchmark", "host")
+        }
+        record = {
+            "benchmark": record.get("benchmark", path.stem),
+            "host": record.get("host", host_info()),
+            "results": legacy,
+        }
+    record["results"].update(updates)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return True

@@ -23,10 +23,11 @@ backend's parent-side arena pack cannot.
 """
 
 import hashlib
-import json
 import os
 import time
 from pathlib import Path
+
+from _common import write_record
 
 from repro.campaigns import CampaignExecutor, CampaignSpec, ResultStore
 from repro.experiments.config import get_scale
@@ -125,8 +126,7 @@ def test_backend_wallclock_and_identity(emit, tmp_path):
     if quick:
         emit("  (quick scale: record not written)")
         return
-    record = {
-        "benchmark": "campaign_backends",
+    results_record = {
         "scale": "full",
         "campaign": {
             "n_cells": spec.n_cells,
@@ -138,7 +138,6 @@ def test_backend_wallclock_and_identity(emit, tmp_path):
             "n_simulations": spec.n_cells * len(spec.params) * spec.n_networks,
         },
         "max_workers": WORKERS,
-        "cpu_cores": cores,
         "baseline": "inline (serial in-process reference)",
         "note": (
             "single-core hosts cannot profit from multi-process backends; "
@@ -159,5 +158,5 @@ def test_backend_wallclock_and_identity(emit, tmp_path):
         },
         "stores_bit_identical": True,
     }
-    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_record(RECORD_PATH, "campaign_backends", results_record)
     emit(f"  -> {RECORD_PATH.name} written")

@@ -29,11 +29,12 @@ ratio and the min-based ratio; identity is asserted on every rep at
 every scale.
 """
 
-import json
 import os
 import statistics
 import time
 from pathlib import Path
+
+from _common import write_record
 
 from repro.experiments.config import get_scale
 from repro.manet import AEDBParams, clear_runtime_cache
@@ -120,8 +121,7 @@ def test_warm_path_speedup_and_identity(emit, monkeypatch):
     if quick:
         emit("  (quick scale: record not written)")
         return
-    record = {
-        "benchmark": "protocol_warm_path",
+    results_record = {
         "scale": "full",
         "workload": {
             "evaluator": "NetworkSetEvaluator.evaluate_many (serial)",
@@ -135,7 +135,6 @@ def test_warm_path_speedup_and_identity(emit, monkeypatch):
                 "vectorised batch); headline = median per-pair ratio"
             ),
         },
-        "cpu_cores": cores,
         "baseline": (
             "REPRO_BATCH_DELIVERIES=0 REPRO_LIVE_INDEX=0 — the per-event "
             "delivery loop and O(n) freshness scans, the PR 3 warm path; "
@@ -154,5 +153,5 @@ def test_warm_path_speedup_and_identity(emit, monkeypatch):
             "the bit-identity assertion is exact on every rep"
         ),
     }
-    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_record(RECORD_PATH, "protocol_warm_path", results_record)
     emit(f"  -> {RECORD_PATH.name} written")

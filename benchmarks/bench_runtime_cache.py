@@ -17,10 +17,11 @@ Scale: ``REPRO_SCALE=quick`` (CI smoke) uses fewer networks and rounds;
 any other value runs the full paper-shaped measurement.
 """
 
-import json
 import os
 import time
 from pathlib import Path
+
+from _common import write_record
 
 from repro.manet import AEDBParams, clear_runtime_cache
 from repro.manet.scenarios import clear_mobility_cache
@@ -92,7 +93,6 @@ def test_runtime_cache_speedup(emit):
     densities = (100, 300) if quick else (100, 200, 300)
 
     record = {
-        "benchmark": "runtime_cache",
         "scale": "quick" if quick else "full",
         "n_networks": n_networks,
         "param_sets_per_eval": len(PARAM_SETS),
@@ -165,7 +165,7 @@ def test_runtime_cache_speedup(emit):
         # full-scale BENCH_PR2.json.
         emit("  (quick scale: record not written, no ratio floor)")
         return
-    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_record(RECORD_PATH, "runtime_cache", record)
     emit(f"  -> {RECORD_PATH.name} written")
     assert record["speedup_min"] >= 3.0, record
 

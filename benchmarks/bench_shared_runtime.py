@@ -23,10 +23,11 @@ the invariants and leave the committed record untouched.
 """
 
 import hashlib
-import json
 import os
 import time
 from pathlib import Path
+
+from _common import update_record, write_record
 
 from repro.manet import AEDBParams
 from repro.manet.runtime import runtime_cache_nbytes
@@ -137,7 +138,6 @@ def test_substrate_memory_flat_in_workers(emit):
     clear_runtime_cache()
     scenarios = make_scenarios(density, n_networks=n_networks)
     record = {
-        "benchmark": "shared_runtime",
         "scale": "quick" if quick else "full",
         "density": density,
         "n_networks": n_networks,
@@ -202,7 +202,7 @@ def test_substrate_memory_flat_in_workers(emit):
     # Linear today, flat with sharing: the per-process total must grow
     # with workers while the shared total stays at zero.
     assert per_process_totals[-1] > per_process_totals[0] * 1.5
-    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_record(RECORD_PATH, "shared_runtime", record)
     emit(f"  -> {RECORD_PATH.name} written")
 
 
@@ -248,9 +248,8 @@ def test_campaign_rerun_serves_everything_from_cache(emit, tmp_path):
         f"{cold_s:.2f}s -> {cached_s:.2f}s "
         f"({cold_s / max(cached_s, 1e-9):.0f}x)"
     )
-    if not quick and RECORD_PATH.exists():
-        record = json.loads(RECORD_PATH.read_text())
-        record["campaign_rerun"] = {
+    if not quick and update_record(RECORD_PATH, {
+        "campaign_rerun": {
             "simulations_first_run": first.simulations_executed,
             "simulations_cached_rerun": second.simulations_executed,
             "cache_hits": second.cache_hits,
@@ -258,5 +257,5 @@ def test_campaign_rerun_serves_everything_from_cache(emit, tmp_path):
             "cached_rerun_s": cached_s,
             "stores_bit_identical": True,
         }
-        RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    }):
         emit(f"  -> {RECORD_PATH.name} updated")

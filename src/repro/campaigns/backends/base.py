@@ -34,8 +34,10 @@ is "only" a fourth implementation of this protocol.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+from repro.telemetry import NULL, Recorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.campaigns.executor import (
@@ -82,6 +84,12 @@ class ExecutionContext:
     cache: "PersistentEvaluationCache | None"
     #: Per-cell completion callback (or None).
     progress: Callable | None
+    #: Telemetry sink for this run (DESIGN.md §12) — the shared no-op
+    #: :data:`~repro.telemetry.NULL` when ``REPRO_TELEMETRY`` is off.
+    #: Backends emit lifecycle events (``cell.leased``/``cell.started``)
+    #: and ``campaign.cell`` spans through it; they must never let it
+    #: influence scheduling or payloads (bit-identity contract above).
+    recorder: Recorder = field(default=NULL)
 
     # ------------------------------------------------------------------ #
     @property

@@ -20,6 +20,13 @@ class InlineBackend:
     name = "inline"
 
     def execute(self, ctx: ExecutionContext) -> None:
+        rec = ctx.recorder
         for cell in ctx.pending:
-            payloads = [ctx.resolve_job(job) for job in ctx.jobs_for(cell)]
-            ctx.finish_cell(cell, payloads)
+            rec.event("cell.leased", cell=cell.key, backend=self.name)
+            rec.event("cell.started", cell=cell.key, backend=self.name)
+            with rec.span("campaign.cell", cell=cell.key,
+                          backend=self.name):
+                payloads = [
+                    ctx.resolve_job(job) for job in ctx.jobs_for(cell)
+                ]
+                ctx.finish_cell(cell, payloads)

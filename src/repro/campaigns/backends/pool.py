@@ -13,6 +13,7 @@ substrate (DESIGN.md §9).
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import replace
 
@@ -57,10 +58,20 @@ class PoolBackend:
                     buckets[key][job.index] = stored
                 else:
                     submit.append(job)
+        rec = ctx.recorder
         for cell in ctx.pending:
             bucket = buckets[cell.key]
             if len(bucket) == len(jobs_by_cell[cell.key]):
+                # Fully cache-served: the whole lifecycle happens here.
+                rec.event("cell.leased", cell=cell.key, backend=self.name)
+                rec.event("cell.started", cell=cell.key, backend=self.name,
+                          cached=True)
+                t0 = time.perf_counter()
                 ctx.finish_cell(cell, [bucket[i] for i in sorted(bucket)])
+                rec.record_span(
+                    "campaign.cell", time.perf_counter() - t0,
+                    cell=cell.key, backend=self.name,
+                )
         if not submit:
             return  # everything came from the cache: no pool, no arena
         arena = None
@@ -77,10 +88,19 @@ class PoolBackend:
                 ]
             )
         failures: dict[str, Exception] = {}
+        # Lifecycle bookkeeping: a cell is *leased* when its first job
+        # enters the pool, *started* when its first payload lands, and
+        # its ``campaign.cell`` span covers lease → persisted records.
+        cell_t0: dict[str, float] = {}
+        started: set[str] = set()
         try:
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 futures = {}
                 for job in submit:
+                    if job.cell_key not in cell_t0:
+                        cell_t0[job.cell_key] = time.perf_counter()
+                        rec.event("cell.leased", cell=job.cell_key,
+                                  backend=self.name)
                     if arena is not None and isinstance(
                         job, executor_mod._SimJob
                     ):
@@ -106,6 +126,10 @@ class PoolBackend:
                                 failures.setdefault(job.cell_key, exc)
                                 continue
                             ctx.record_executed(job, payload)
+                            if job.cell_key not in started:
+                                started.add(job.cell_key)
+                                rec.event("cell.started", cell=job.cell_key,
+                                          backend=self.name)
                             bucket = buckets[job.cell_key]
                             bucket[job.index] = payload
                             if (
@@ -116,6 +140,12 @@ class PoolBackend:
                                 payloads = [bucket[i] for i in sorted(bucket)]
                                 ctx.finish_cell(
                                     cell_by_key[job.cell_key], payloads
+                                )
+                                rec.record_span(
+                                    "campaign.cell",
+                                    time.perf_counter()
+                                    - cell_t0[job.cell_key],
+                                    cell=job.cell_key, backend=self.name,
                                 )
                 except BaseException:
                     # Finished cells are already on disk; don't burn

@@ -31,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import shutil
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
@@ -121,6 +122,8 @@ class _ShardTask:
 
     spec_json: str
     cell_keys: tuple[str, ...]
+    #: This shard's index — tags the worker's telemetry stream.
+    shard_index: int
     #: Shard store directory (None = storeless parent: results travel
     #: back in-memory only).
     root: str | None
@@ -173,7 +176,17 @@ def _run_shard(task: _ShardTask) -> _ShardResult:
         mls_engine=task.mls_engine,
         eval_cache=cache,
         only_cells=task.cell_keys,
+        # With REPRO_TELEMETRY set (inherited from the parent), the
+        # in-shard run streams to the shard store's telemetry.jsonl,
+        # every line tagged with this shard's index; the parent folds
+        # the file into its own stream after the merge (DESIGN.md §12).
+        telemetry_attrs={"shard": task.shard_index},
     )
+    # The parent emits the campaign-wide roll-up counters after the
+    # merge; a shard re-emitting its slice would double-count them in
+    # the folded stream (per-shard numbers ride the shard's
+    # ``campaign.run.finished`` event attrs instead).
+    executor._emit_rollup_counters = False
     try:
         report = executor.run()
     finally:
@@ -253,12 +266,21 @@ class ShardBackend:
         # 1. Parent-cache pre-filter: cells fully served from the cache
         #    complete here, without a shard (and without a subprocess) —
         #    a cached re-run spawns nothing and simulates nothing.
+        rec = ctx.recorder
         remaining: list[CampaignCell] = []
         for cell in ctx.pending:
             payloads = self._fully_cached(ctx, ctx.jobs_for(cell))
             if payloads is not None:
+                rec.event("cell.leased", cell=cell.key, backend=self.name)
+                rec.event("cell.started", cell=cell.key, backend=self.name,
+                          cached=True)
+                t0 = time.perf_counter()
                 ctx.report.cache_hits += len(payloads)
                 ctx.finish_cell(cell, payloads)
+                rec.record_span(
+                    "campaign.cell", time.perf_counter() - t0,
+                    cell=cell.key, backend=self.name,
+                )
             else:
                 remaining.append(cell)
         if not remaining:
@@ -285,6 +307,7 @@ class ShardBackend:
             _ShardTask(
                 spec_json=ctx.spec.to_json(),
                 cell_keys=shard.cell_keys,
+                shard_index=shard.index,
                 root=(
                     str(shards_root / shard.key)
                     if shards_root is not None
@@ -304,18 +327,28 @@ class ShardBackend:
         failures: dict[str, Exception] = {}
         try:
             with ProcessPoolExecutor(max_workers=n_procs) as pool:
-                futures = {
-                    pool.submit(_run_shard, task): shard
-                    for task, shard in zip(tasks, shards)
-                }
+                futures = {}
+                for task, shard in zip(tasks, shards):
+                    # The parent's lease: cell → shard assignment.  The
+                    # worker re-emits its own (inline-tagged) lifecycle
+                    # into the shard stream, merged back below.
+                    for key in shard.cell_keys:
+                        rec.event("cell.leased", cell=key,
+                                  backend=self.name, shard=shard.index)
+                    rec.event("shard.dispatched", shard=shard.index,
+                              n_cells=len(shard.cells))
+                    futures[pool.submit(_run_shard, task)] = shard
                 for future in as_completed(futures):
                     shard = futures[future]
                     try:
                         results[shard.index] = future.result()
+                        rec.event("shard.finished", shard=shard.index)
                     except Exception as exc:  # noqa: BLE001
                         # A failed shard fails its cells, never the run:
                         # the other shards still complete and merge.
                         failures[shard.key] = exc
+                        rec.event("shard.failed", shard=shard.index,
+                                  error=repr(exc))
             # 4. Merge every shard store back — including a failed
             #    shard's completed cells, which persist exactly like a
             #    crashed campaign's and are skipped on re-run.  Shard
@@ -324,8 +357,18 @@ class ShardBackend:
             #    file under an explicit --cache (where inline and pool
             #    would have appended them).
             if shards_root is not None:
+                from repro.telemetry import merge_telemetry_files
+
                 for shard in shards:
                     shard_store = ResultStore(shards_root / shard.key)
+                    if ctx.store is not None:
+                        # Fold the shard's telemetry stream (if any) into
+                        # the parent's — additive by design (counter
+                        # lines are deltas), exactly once per shard.
+                        merge_telemetry_files(
+                            ctx.store.telemetry_path,
+                            shard_store.telemetry_path,
+                        )
                     if not shard_store.spec_path.exists():
                         continue  # shard died before writing anything
                     if ctx.store is not None:

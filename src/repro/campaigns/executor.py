@@ -41,6 +41,15 @@ Two transparent layers sit under every backend (DESIGN.md §9):
   on (scenario, params, seed) — serves those simulations from disk
   without touching a worker.  Cached results are the exact stored
   metrics, so resumed and fresh runs stay bit-identical.
+
+With ``REPRO_TELEMETRY`` set, a third observation-only layer streams
+``telemetry.jsonl`` next to the store (DESIGN.md §12): per-cell
+lifecycle events (``cell.queued`` → ``cell.leased`` → ``cell.started``
+→ ``cell.finished``, tagged with the backend id and — under the shard
+backend — the shard index), ``campaign.cell`` timing spans, and the
+``campaign.cache_hits`` / ``campaign.simulations_executed`` counters
+that ``campaign status`` surfaces.  Telemetry never perturbs results;
+stores stay byte-identical with it off, on, or deep.
 """
 
 from __future__ import annotations
@@ -58,6 +67,14 @@ from repro.manet.metrics import BroadcastMetrics, aggregate_metrics
 from repro.manet.scenarios import NetworkScenario
 from repro.manet.shared import SharedRuntimeHandle, attach_runtime
 from repro.manet.simulator import BroadcastSimulator
+from repro.telemetry import (
+    NULL,
+    JsonlRecorder,
+    Recorder,
+    get_recorder,
+    telemetry_enabled,
+    using,
+)
 from repro.tuning.cache import PersistentEvaluationCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -247,6 +264,7 @@ class CampaignExecutor:
         shared_runtimes: bool = True,
         backend: "Backend | str | None" = None,
         only_cells: Iterable[str] | None = None,
+        telemetry_attrs: dict | None = None,
     ):
         """``store=None`` runs in memory (results only in the report).
 
@@ -273,6 +291,10 @@ class CampaignExecutor:
         ``only_cells`` restricts the run to the named cell keys (every
         key must belong to the spec) — the hook shard workers use to
         execute their slice of a campaign.
+
+        ``telemetry_attrs`` tags every telemetry line this run records
+        (e.g. ``{"shard": 3}`` for a shard worker); ignored when
+        ``REPRO_TELEMETRY`` is off.
         """
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
@@ -286,6 +308,14 @@ class CampaignExecutor:
         self.shared_runtimes = shared_runtimes
         self.backend = backend
         self.only_cells = None if only_cells is None else tuple(only_cells)
+        self.telemetry_attrs = dict(telemetry_attrs or {})
+        #: Emit the run-level ``campaign.cache_hits`` /
+        #: ``campaign.simulations_executed`` counters at the end of
+        #: :meth:`run`.  Shard workers flip this off (their stream is
+        #: folded into the parent's, whose own roll-up already includes
+        #: every shard's contribution — emitting both would double-count
+        #: the merged totals that ``campaign status`` surfaces).
+        self._emit_rollup_counters = True
 
     def _resolve_eval_cache(
         self,
@@ -303,6 +333,27 @@ class CampaignExecutor:
                 return None, False
             return PersistentEvaluationCache(self.store.eval_cache_path), True
         return PersistentEvaluationCache(Path(spec)), True
+
+    def _resolve_recorder(self) -> tuple[Recorder, bool]:
+        """``(recorder, owned)`` for this run (DESIGN.md §12).
+
+        Telemetry off: the shared :data:`~repro.telemetry.NULL` no-op.
+        Telemetry on with a store: a :class:`JsonlRecorder` streaming
+        ``telemetry.jsonl`` next to it (owned — closed after the run).
+        Telemetry on storeless: whatever recorder is already active
+        (``using(...)`` or the ambient in-memory one) — not owned.
+        """
+        if not telemetry_enabled():
+            return NULL, False
+        if self.store is not None:
+            return (
+                JsonlRecorder(
+                    self.store.telemetry_path,
+                    base_attrs=self.telemetry_attrs or None,
+                ),
+                True,
+            )
+        return get_recorder(), False
 
     # ------------------------------------------------------------------ #
     def _scale_for(self, cell: CampaignCell):
@@ -393,15 +444,31 @@ class CampaignExecutor:
         if not pending:
             return report
         cache, owned = self._resolve_eval_cache()
+        recorder, rec_owned = self._resolve_recorder()
         ctx = ExecutionContext(
             executor=self,
             pending=pending,
             report=report,
             cache=cache,
             progress=progress,
+            recorder=recorder,
         )
+        recorder.event(
+            "campaign.run.started",
+            backend=backend.name,
+            n_pending=len(pending),
+            n_skipped=len(report.skipped),
+        )
+        for cell in pending:
+            recorder.event("cell.queued", cell=cell.key,
+                           backend=backend.name)
         try:
-            backend.execute(ctx)
+            # ``using`` makes this run's sink the process-wide active
+            # recorder, so the cache/evaluator/simulator layers reach
+            # it through get_recorder() without any plumbing.
+            with using(recorder):
+                with recorder.span("campaign.run", backend=backend.name):
+                    backend.execute(ctx)
         finally:
             # Spec order regardless of completion order — also on the
             # failure path, so a partial report stays deterministic.
@@ -409,6 +476,23 @@ class CampaignExecutor:
             report.executed.sort(key=lambda r: order[r.cell.key])
             if owned and cache is not None:
                 cache.close()
+            if self._emit_rollup_counters:
+                recorder.count("campaign.cache_hits", report.cache_hits)
+                recorder.count(
+                    "campaign.simulations_executed",
+                    report.simulations_executed,
+                )
+            recorder.event(
+                "campaign.run.finished",
+                backend=backend.name,
+                executed=len(report.executed),
+                cache_hits=report.cache_hits,
+                simulations_executed=report.simulations_executed,
+            )
+            if rec_owned:
+                recorder.close()
+            else:
+                recorder.flush()
         return report
 
     @staticmethod
@@ -436,6 +520,9 @@ class CampaignExecutor:
             self.store.write_cell(cell, records)
         result = CellResult(cell=cell, records=records, payloads=payloads)
         report.executed.append(result)
+        get_recorder().event(
+            "cell.finished", cell=cell.key, n_records=len(records)
+        )
         if progress is not None:
             progress(result)
 

@@ -9,7 +9,10 @@ __all__ = ["render_status", "render_report", "render_merge"]
 
 
 def render_status(spec: CampaignSpec, store: ResultStore) -> str:
-    """Completion census plus the pending cell keys."""
+    """Completion census, cache/simulation tallies, pending cell keys."""
+    from repro.telemetry import TelemetrySummary
+    from repro.tuning.cache import PersistentEvaluationCache
+
     status = store.status(spec)
     lines = [
         f"campaign '{spec.name}': {status.complete}/{status.total} cells "
@@ -20,6 +23,23 @@ def render_status(spec: CampaignSpec, store: ResultStore) -> str:
         f"{len(spec.algorithms)} algorithms",
         f"store: {store.root}",
     ]
+    if store.eval_cache_path.exists():
+        entries = PersistentEvaluationCache._read_entries(
+            store.eval_cache_path
+        )
+        lines.append(
+            f"evaluation cache: {len(entries)} stored simulation(s)"
+        )
+    telemetry = TelemetrySummary.from_file(store.telemetry_path)
+    if not telemetry.is_empty:
+        # The same counters `campaign telemetry` reports — status and
+        # telemetry must agree because both read one stream.
+        lines.append(
+            "telemetry: "
+            f"{telemetry.counter('campaign.cache_hits')} cache hit(s), "
+            f"{telemetry.counter('campaign.simulations_executed')} "
+            "simulation(s) executed"
+        )
     pending = store.pending_cells(spec)
     if pending:
         lines.append("pending cells:")

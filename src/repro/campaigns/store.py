@@ -103,6 +103,7 @@ class ResultStore:
     SPEC_FILE = "spec.json"
     CELLS_DIR = "cells"
     EVAL_CACHE_FILE = "evaluations.jsonl"
+    TELEMETRY_FILE = "telemetry.jsonl"
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
@@ -116,6 +117,18 @@ class ResultStore:
     def eval_cache_path(self) -> Path:
         """Default location of the persistent evaluation-cache sidecar."""
         return self.root / self.EVAL_CACHE_FILE
+
+    @property
+    def telemetry_path(self) -> Path:
+        """The campaign's telemetry stream (DESIGN.md §12).
+
+        An append-only observation log written by the executor's
+        :class:`~repro.telemetry.JsonlRecorder` when ``REPRO_TELEMETRY``
+        is set.  Deliberately *outside* the bit-identity surface: the
+        determinism contract covers ``spec.json`` + ``cells/`` (and the
+        eval sidecar's key set), never this file's wall-clock content.
+        """
+        return self.root / self.TELEMETRY_FILE
 
     def cell_path(self, cell: CampaignCell) -> Path:
         return self.root / self.CELLS_DIR / f"{cell.key}.jsonl"

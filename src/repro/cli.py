@@ -16,7 +16,9 @@ Subcommands map to the deliverables:
   execution backends (``--backend {inline,pool,shard:N}``) and a
   resumable result store: ``campaign run``, ``campaign status``,
   ``campaign report``, ``campaign merge`` (fold shard stores into one
-  directory, dedup + conflict-checked);
+  directory, dedup + conflict-checked), ``campaign telemetry`` (replay
+  a run's ``telemetry.jsonl`` — recorded when ``REPRO_TELEMETRY`` is
+  set — into a timing/counter summary or a Prometheus snapshot);
 * ``cache``       — maintenance of the persistent evaluation cache
   (the ``evaluations.jsonl`` sidecar): ``cache stats``, ``cache flush``.
 
@@ -160,6 +162,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     status_p = camp_sub.add_parser("status", help="completion census")
     status_p.add_argument("--out", required=True, help="campaign directory")
+
+    tele_p = camp_sub.add_parser(
+        "telemetry",
+        help="replay a campaign's telemetry.jsonl (REPRO_TELEMETRY runs)",
+    )
+    tele_p.add_argument("--out", required=True, help="campaign directory")
+    tele_p.add_argument(
+        "--top", type=int, default=10,
+        help="slowest cells to list (default 10)",
+    )
+    tele_p.add_argument(
+        "--export-prom", default=None, metavar="PATH",
+        help="also write the summary as Prometheus text format "
+             "('-' = stdout)",
+    )
 
     report_p = camp_sub.add_parser("report", help="render completed results")
     report_p.add_argument("--out", required=True, help="campaign directory")
@@ -355,6 +372,25 @@ def _cmd_campaign(args, scale) -> int:
     store = ResultStore(args.out)
     if args.campaign_command == "status":
         print(render_status(store.load_spec(), store))
+        return 0
+    if args.campaign_command == "telemetry":
+        from repro.telemetry import (
+            TelemetrySummary,
+            render_telemetry,
+            to_prometheus,
+        )
+
+        summary = TelemetrySummary.from_file(store.telemetry_path)
+        print(render_telemetry(summary, top=args.top))
+        if args.export_prom is not None:
+            text = to_prometheus(summary)
+            if args.export_prom == "-":
+                print(text, end="")
+            else:
+                from pathlib import Path
+
+                Path(args.export_prom).write_text(text)
+                print(f"prometheus snapshot written to {args.export_prom}")
         return 0
     if args.campaign_command == "report":
         print(render_report(store.load_spec(), store))

@@ -215,6 +215,13 @@ class AEDBProtocol:
         # across calls, and timer events cannot interleave with batch
         # deliveries within one event).
         self._select_mask = np.empty(n_nodes, dtype=bool)
+        #: Batched-delivery cutover tallies (plain ints, maintained
+        #: unconditionally — one add per frame): frames that ran the
+        #: full-vector update vs the small-batch scalar loop.  The
+        #: simulator ships them as telemetry counters under
+        #: ``REPRO_TELEMETRY=deep``.
+        self.batch_frames_vector = 0
+        self.batch_frames_scalar = 0
         #: Strongest copy heard per node (the paper's ``pmin``), dBm.
         self.strongest_copy_dbm = np.full(n_nodes, -np.inf)
         #: Time of first successful reception per node (NaN = never).
@@ -332,6 +339,7 @@ class AEDBProtocol:
             # run the per-receiver state machine directly — same code
             # the per-event path runs, ascending id order, one Python
             # dispatch per frame instead of one per delivery.
+            self.batch_frames_scalar += 1
             state = self.state
             strongest_arr = self.strongest_copy_dbm
             heard = self._heard_from
@@ -345,6 +353,7 @@ class AEDBProtocol:
                 elif st is AEDBNodeState.IDLE:
                     self._first_copy(r, float(rx_dbm[r]), time_s)
             return
+        self.batch_frames_vector += 1
         self._heard_from[:, senders] |= receivers
         codes = self._state_code
         strongest = self.strongest_copy_dbm

@@ -182,6 +182,7 @@ class RadioMedium:
             self._elig_buf = np.empty(n, dtype=bool)
         self._energy_dbm = 0.0
         self._n_frames = 0
+        self._n_resolved = 0
         #: All frames ever transmitted (for metrics/inspection).
         self.history: list[Frame] = []
 
@@ -224,6 +225,7 @@ class RadioMedium:
 
     def _resolve(self, frame: Frame, time_s: float) -> None:
         """Frame-end event: decide which nodes decoded ``frame``."""
+        self._n_resolved += 1
         active = self._active
         recent = self._recent
         active.remove(frame)
@@ -383,6 +385,12 @@ class RadioMedium:
     def transmission_count(self) -> int:
         """Total frames ever put on the air."""
         return self._n_frames
+
+    @property
+    def resolved_count(self) -> int:
+        """Frames whose end-of-airtime resolution has run (frames still
+        in flight at the horizon never resolve)."""
+        return self._n_resolved
 
     def energy_dbm_total(self) -> float:
         """Sum of TX powers in raw dBm — the paper's energy objective.

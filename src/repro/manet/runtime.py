@@ -79,6 +79,7 @@ from repro.manet.config import SimulationConfig
 from repro.manet.mobility import MobilityModel
 from repro.manet.propagation import build_path_loss
 from repro.manet.scenarios import NetworkScenario
+from repro.telemetry import get_recorder
 from repro.utils.units import DBM_MINUS_INF
 
 __all__ = [
@@ -330,8 +331,14 @@ class ScenarioRuntime:
         position_memo_entries: int = 256,
     ):
         self._init_base(scenario, mobility, position_memo_entries)
-        self._precompute_tables()
-        self._build_live_index()
+        # Substrate-build span (DESIGN.md §12) — only the full precompute
+        # path; from_shared maps existing arrays and pays nothing worth
+        # timing.
+        with get_recorder().span(
+            "runtime.build", n_nodes=scenario.n_nodes
+        ):
+            self._precompute_tables()
+            self._build_live_index()
         # Raw uniform stream of the scenario's default protocol RNG.
         # The AEDB state machine draws at most 2 doubles per node (one
         # forwarding delay, one MAC jitter, each at most once — a node

@@ -37,6 +37,7 @@ from repro.manet.runtime import (
     run_beacon_schedule,
 )
 from repro.manet.scenarios import NetworkScenario
+from repro.telemetry import deep_telemetry_enabled, get_recorder
 
 __all__ = ["BroadcastSimulator", "simulate_broadcast"]
 
@@ -106,6 +107,9 @@ class BroadcastSimulator:
             record_decisions=record_decisions,
         )
         self._ran = False
+        # Captured once: the off path pays one boolean test per run,
+        # never a per-event recorder call (DESIGN.md §12).
+        self._deep = deep_telemetry_enabled()
 
     # -- wiring ---------------------------------------------------------- #
     def _deliver(self, receiver: int, frame: Frame, rx_dbm: float, t: float) -> None:
@@ -134,18 +138,36 @@ class BroadcastSimulator:
             raise RuntimeError("BroadcastSimulator instances are single-use")
         self._ran = True
         sim = self._sim
+        rec = get_recorder()
 
-        # Warm-up and in-window beacons on the canonical integer-indexed
-        # grid (shared with ScenarioRuntime, so precomputed snapshots and
-        # the live schedule agree exactly).  The grid starts just early
-        # enough to fully warm the tables: entries older than
-        # ``neighbor_expiry_s`` at broadcast time can never influence a
-        # query (identical semantics, ~3x fewer pairwise-loss matrices).
-        run_beacon_schedule(sim, self.runtime, self.tables, self.queue)
+        with rec.span("sim.run", n_nodes=self.scenario.n_nodes):
+            # Warm-up and in-window beacons on the canonical integer-indexed
+            # grid (shared with ScenarioRuntime, so precomputed snapshots and
+            # the live schedule agree exactly).  The grid starts just early
+            # enough to fully warm the tables: entries older than
+            # ``neighbor_expiry_s`` at broadcast time can never influence a
+            # query (identical semantics, ~3x fewer pairwise-loss matrices).
+            with rec.span("sim.beacon_schedule"):
+                run_beacon_schedule(sim, self.runtime, self.tables, self.queue)
 
-        self.protocol.start_broadcast(self.scenario.source, sim.warmup_s)
-        self.queue.run_until(sim.horizon_s)
-        return self._collect_metrics()
+            self.protocol.start_broadcast(self.scenario.source, sim.warmup_s)
+            with rec.span("sim.broadcast_window"):
+                self.queue.run_until(sim.horizon_s)
+            metrics = self._collect_metrics()
+        if self._deep:
+            # Fine-grained readout (REPRO_TELEMETRY=deep): totals kept as
+            # plain ints on the warm path, shipped as counters once per
+            # run — zero recorder traffic inside the event loop.
+            rec.count("sim.events_fired", self.queue.fired)
+            rec.count("sim.frames_transmitted",
+                      self.medium.transmission_count)
+            rec.count("sim.frames_resolved", self.medium.resolved_count)
+            rec.count("sim.batch_frames_vector",
+                      self.protocol.batch_frames_vector)
+            rec.count("sim.batch_frames_scalar",
+                      self.protocol.batch_frames_scalar)
+            rec.count("sim.runs")
+        return metrics
 
     def _collect_metrics(self) -> BroadcastMetrics:
         sim = self._sim

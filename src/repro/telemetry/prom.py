@@ -1,0 +1,79 @@
+"""Prometheus text-format snapshot of a telemetry summary.
+
+``repro-aedb campaign telemetry --export-prom`` renders the replayed
+stream in the exposition format scrapers and pushgateways understand
+(https://prometheus.io/docs/instrumenting/exposition_formats/) — the
+``grafana_dict.py`` seam of the ROADMAP's results-service direction,
+produced without re-running a single simulation.
+
+Mapping:
+
+* counter ``name`` → ``repro_<name>_total`` (``counter``);
+* span ``name``    → ``repro_span_seconds_count|sum|max{span="name"}``
+  (``summary``-style aggregate; max as a separate ``gauge``);
+* gauge ``name``   → ``repro_<name>`` (``gauge``).
+
+Metric names are sanitised to ``[a-zA-Z0-9_]`` (dots become
+underscores).  Counter values render as integers — Prometheus floats
+hold exact integers up to 2**53; larger values lose precision on the
+scraper side, never here.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.telemetry.summary import TelemetrySummary
+
+__all__ = ["to_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    clean = _NAME_RE.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "_" + clean
+    return f"repro_{clean}"
+
+
+def _fmt_value(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 2**63:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(summary: TelemetrySummary) -> str:
+    """The summary as Prometheus text exposition format (one snapshot)."""
+    lines: list[str] = []
+
+    for name in sorted(summary.counters):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt_value(summary.counters[name])}")
+
+    if summary.spans:
+        lines.append("# TYPE repro_span_seconds summary")
+        for name in sorted(summary.spans):
+            stat = summary.spans[name]
+            label = name.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'repro_span_seconds_count{{span="{label}"}} {stat.count}'
+            )
+            lines.append(
+                f'repro_span_seconds_sum{{span="{label}"}} {stat.total_s!r}'
+            )
+        lines.append("# TYPE repro_span_seconds_max gauge")
+        for name in sorted(summary.spans):
+            label = name.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'repro_span_seconds_max{{span="{label}"}} '
+                f"{summary.spans[name].max_s!r}"
+            )
+
+    for name in sorted(summary.gauges):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt_value(summary.gauges[name])}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

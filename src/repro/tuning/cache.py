@@ -40,6 +40,7 @@ import numpy as np
 from repro.manet.aedb import AEDBParams
 from repro.manet.metrics import BroadcastMetrics
 from repro.manet.scenarios import NetworkScenario
+from repro.telemetry import get_recorder
 
 __all__ = ["EvaluationCache", "PersistentEvaluationCache"]
 
@@ -75,20 +76,29 @@ class EvaluationCache:
             if key in self._store:
                 self.hits += 1
                 self._store.move_to_end(key)
-                return self._store[key]
-            self.misses += 1
-            return None
+                payload = self._store[key]
+            else:
+                self.misses += 1
+                payload = None
+        # Telemetry outside the lock: recorders may do I/O.
+        get_recorder().count(
+            "lru_cache.hit" if payload is not None else "lru_cache.miss"
+        )
+        return payload
 
     def put(self, vector: np.ndarray, payload: object) -> None:
         """Insert (or refresh) an entry, evicting the LRU one if full."""
         key = self.key_for(vector)
         with self._lock:
-            if key in self._store:
+            fill = key not in self._store
+            if not fill:
                 self._store.move_to_end(key)
             elif len(self._store) >= self.max_entries:
                 self._store.popitem(last=False)
                 self.evictions += 1
             self._store[key] = payload
+        if fill:
+            get_recorder().count("lru_cache.fill")
 
     def get_or_compute(
         self, vector: np.ndarray, compute: Callable[[], object]
@@ -267,7 +277,11 @@ class PersistentEvaluationCache:
                 self.hits += 1
             else:
                 self.misses += 1
-            return metrics
+        # Telemetry outside the lock: recorders may do I/O.
+        get_recorder().count(
+            "eval_cache.hit" if metrics is not None else "eval_cache.miss"
+        )
+        return metrics
 
     def put_metrics(
         self,
@@ -297,6 +311,7 @@ class PersistentEvaluationCache:
                 self._writer = self.path.open("a", encoding="utf-8")
             self._writer.write(line + "\n")
             self._writer.flush()
+        get_recorder().count("eval_cache.fill")
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

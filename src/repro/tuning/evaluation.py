@@ -57,6 +57,7 @@ from repro.manet.runtime import get_runtime
 from repro.manet.scenarios import NetworkScenario, make_scenarios
 from repro.manet.shared import SharedRuntimeArena, SharedRuntimeHandle, attach_runtime
 from repro.manet.simulator import BroadcastSimulator
+from repro.telemetry import get_recorder
 from repro.tuning.cache import EvaluationCache, PersistentEvaluationCache
 
 __all__ = ["NetworkSetEvaluator", "ParallelNetworkSetEvaluator"]
@@ -149,6 +150,10 @@ class NetworkSetEvaluator:
         return self.scenarios[0].n_nodes
 
     def _simulate_all(self, params: AEDBParams) -> BroadcastMetrics:
+        with get_recorder().span("eval.evaluate", n_networks=self.n_networks):
+            return self._simulate_all_inner(params)
+
+    def _simulate_all_inner(self, params: AEDBParams) -> BroadcastMetrics:
         runs = []
         for scenario in self.scenarios:
             stored = (
@@ -191,7 +196,9 @@ class NetworkSetEvaluator:
         The serial baseline simply loops; the parallel evaluator
         overrides this with a single flattened pool fan-out.
         """
-        return [self.evaluate(p) for p in params_list]
+        plist = list(params_list)
+        with get_recorder().span("eval.batch", n_params=len(plist)):
+            return [self.evaluate(p) for p in plist]
 
     def evaluate_vector(self, vector: np.ndarray) -> BroadcastMetrics:
         """Averaged metrics for a raw parameter vector (clipped)."""
@@ -281,19 +288,20 @@ class ParallelNetworkSetEvaluator(NetworkSetEvaluator):
         if todo:
             arena = self._ensure_arena()
             pool = self._ensure_pool()
-            runs = list(
-                pool.map(
-                    _simulate_one,
-                    [pairs[i][0] for i in todo],
-                    [pairs[i][1] for i in todo],
-                    [
-                        arena.handle_for(pairs[i][0])
-                        if arena is not None
-                        else None
-                        for i in todo
-                    ],
+            with get_recorder().span("eval.pool_map", n_jobs=len(todo)):
+                runs = list(
+                    pool.map(
+                        _simulate_one,
+                        [pairs[i][0] for i in todo],
+                        [pairs[i][1] for i in todo],
+                        [
+                            arena.handle_for(pairs[i][0])
+                            if arena is not None
+                            else None
+                            for i in todo
+                        ],
+                    )
                 )
-            )
             self.simulations_run += len(runs)
             for i, metrics in zip(todo, runs):
                 out[i] = metrics
@@ -305,9 +313,10 @@ class ParallelNetworkSetEvaluator(NetworkSetEvaluator):
         return out  # type: ignore[return-value]
 
     def _simulate_all(self, params: AEDBParams) -> BroadcastMetrics:
-        return aggregate_metrics(
-            self._pooled_runs([(s, params) for s in self.scenarios])
-        )
+        with get_recorder().span("eval.evaluate", n_networks=self.n_networks):
+            return aggregate_metrics(
+                self._pooled_runs([(s, params) for s in self.scenarios])
+            )
 
     def evaluate_many(
         self, params_list: list[AEDBParams]
@@ -321,6 +330,12 @@ class ParallelNetworkSetEvaluator(NetworkSetEvaluator):
         Duplicate vectors within the batch simulate once.
         """
         plist = list(params_list)
+        with get_recorder().span("eval.batch", n_params=len(plist)):
+            return self._evaluate_many_inner(plist)
+
+    def _evaluate_many_inner(
+        self, plist: list[AEDBParams]
+    ) -> list[BroadcastMetrics]:
         out: list[BroadcastMetrics | None] = [None] * len(plist)
         # Group indices by parameter vector — under the cache's rounded
         # key when caching, so batch dedup agrees with the serial path's

@@ -335,6 +335,67 @@ class TestCacheCommand:
         assert "entries: 0" in capsys.readouterr().out
 
 
+class TestTelemetryCommand:
+    """``campaign telemetry`` end-to-end against a recorded stream."""
+
+    def run_args(self, out):
+        return [
+            "campaign", "run", "--out", str(out), "--densities", "100",
+            "--seeds", "2", "--networks", "1", "--nodes", "8", "--serial",
+        ]
+
+    def test_summary_prom_export_and_status_agreement(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        out = tmp_path / "camp"
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        assert main(self.run_args(out)) == 0
+        capsys.readouterr()
+
+        assert main(["campaign", "telemetry", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "telemetry summary" in text
+        assert "campaign.cell" in text
+        assert "campaign.simulations_executed" in text
+        assert "slowest cells" in text
+
+        # Prometheus snapshot to stdout and to a file.
+        assert main(
+            ["campaign", "telemetry", "--out", str(out),
+             "--export-prom", "-"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_campaign_simulations_executed_total counter" in text
+        prom_path = tmp_path / "snap.prom"
+        assert main(
+            ["campaign", "telemetry", "--out", str(out),
+             "--export-prom", str(prom_path)]
+        ) == 0
+        assert "prometheus snapshot written" in capsys.readouterr().out
+        assert "repro_span_seconds" in prom_path.read_text()
+
+        # The status census surfaces the same counters (they agree).
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        status = capsys.readouterr().out
+        assert "telemetry: 0 cache hit(s), 2 simulation(s) executed" in status
+
+    def test_without_recording_explains_the_switch(self, capsys, tmp_path):
+        out = tmp_path / "camp"
+        assert main(self.run_args(out)) == 0
+        capsys.readouterr()
+        assert main(["campaign", "telemetry", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "no telemetry recorded" in text
+        assert "REPRO_TELEMETRY" in text
+
+    def test_top_flag_parses(self):
+        args = build_parser().parse_args(
+            ["campaign", "telemetry", "--out", "x", "--top", "3"]
+        )
+        assert args.campaign_command == "telemetry"
+        assert args.top == 3
+
+
 class TestProtocolsCommand:
     def test_protocols_runs_small(self, capsys, monkeypatch):
         from repro.core.config import MLSConfig
