@@ -111,6 +111,21 @@ backend choice is purely an execution/deployment decision.  A remote
 transport is "only" a fourth implementation of the protocol; the shard
 layout and merge semantics are already transport-agnostic.
 
+Failure semantics (DESIGN.md §13)
+=================================
+
+The scheduler owns failure, not the caller.  Every run carries a
+:class:`~repro.campaigns.resilience.RetryPolicy` (``repro-aedb campaign
+run --retries/--cell-timeout/--heartbeat``): failed attempts retry with
+deterministic backoff, the pool backend survives broken pools and
+wedged workers (leases + ``cell.heartbeat`` telemetry), the shard
+backend requeues a dead shard's lost cells onto a recovery pass, and a
+cell that exhausts its budget is **quarantined** into the store's
+``failures.jsonl`` (``repro-aedb campaign failures``) instead of
+aborting anything.  Recovered runs stay byte-identical to fault-free
+ones; ``tests/campaigns/test_chaos.py`` proves every path against the
+deterministic fault plane in :mod:`repro.campaigns.faults`.
+
 Follow-ups tracked in ROADMAP.md: a remote shard transport and result
 dashboards on top of the JSONL store.
 """
@@ -125,9 +140,21 @@ from repro.campaigns.backends import (
 from repro.campaigns.executor import (
     CampaignExecutor,
     CampaignRunReport,
+    CellFailure,
     CellResult,
 )
-from repro.campaigns.report import render_merge, render_report, render_status
+from repro.campaigns.faults import FaultPlane, InjectedFault
+from repro.campaigns.report import (
+    render_failures,
+    render_merge,
+    render_report,
+    render_status,
+)
+from repro.campaigns.resilience import (
+    FailureLedger,
+    LeaseTable,
+    RetryPolicy,
+)
 from repro.campaigns.spec import (
     DEFAULT_PARAMS,
     EVALUATE,
@@ -159,6 +186,13 @@ __all__ = [
     "render_report",
     "render_status",
     "render_merge",
+    "render_failures",
     "EVALUATE",
     "DEFAULT_PARAMS",
+    "RetryPolicy",
+    "LeaseTable",
+    "FailureLedger",
+    "CellFailure",
+    "FaultPlane",
+    "InjectedFault",
 ]

@@ -37,6 +37,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
+from repro.campaigns.resilience import (
+    QUARANTINED,
+    LeaseTable,
+    RetryPolicy,
+)
 from repro.telemetry import NULL, Recorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -90,6 +95,13 @@ class ExecutionContext:
     #: and ``campaign.cell`` spans through it; they must never let it
     #: influence scheduling or payloads (bit-identity contract above).
     recorder: Recorder = field(default=NULL)
+    #: The run's lease/attempt table (DESIGN.md §13).  Owns the retry
+    #: policy and the quarantine record; backends route every failed
+    #: attempt through :meth:`fail_cell` so retry accounting, the
+    #: ``failures.jsonl`` ledger, and the report can never diverge.
+    leases: LeaseTable = field(
+        default_factory=lambda: LeaseTable(RetryPolicy())
+    )
 
     # ------------------------------------------------------------------ #
     @property
@@ -116,6 +128,12 @@ class ExecutionContext:
     @property
     def mls_engine(self) -> str | None:
         return self.executor.mls_engine
+
+    @property
+    def policy(self) -> RetryPolicy:
+        """The run's retry/timeout/heartbeat budget (via the leases —
+        one source of truth)."""
+        return self.leases.policy
 
     # ------------------------------------------------------------------ #
     def jobs_for(self, cell: "CampaignCell") -> list:
@@ -144,3 +162,26 @@ class ExecutionContext:
     def resolve_job(self, job):
         """One job's payload: cache hit or in-process execution."""
         return self.executor._resolve_serial_job(job, self.report, self.cache)
+
+    def fail_cell(
+        self, cell_key: str, error: str, attempt: int | None = None
+    ) -> str:
+        """Record one failed attempt of a cell and emit its lifecycle
+        event; returns :data:`~repro.campaigns.resilience.RETRY` or
+        :data:`~repro.campaigns.resilience.QUARANTINED`.  Quarantine is
+        terminal for the run but never fatal: the cell lands in the
+        ledger and ``report.failed``, and everything else proceeds.
+        """
+        verdict = self.leases.fail(cell_key, error, attempt)
+        attempts = self.leases.attempts(cell_key)
+        if verdict == QUARANTINED:
+            self.recorder.event(
+                "cell.quarantined", cell=cell_key,
+                attempts=attempts, error=error,
+            )
+        else:
+            self.recorder.event(
+                "cell.retry", cell=cell_key,
+                attempts=attempts, error=error,
+            )
+        return verdict

@@ -19,11 +19,21 @@ remote transport later needs only a new backend that ships
 directories back; the partition, store layout, and merge semantics are
 already transport-agnostic (DESIGN.md §10).
 
-Crash behaviour mirrors the pool backend's cell isolation at shard
-granularity: a failed shard fails its cells, every completed shard (and
-every completed cell *inside* a failed shard — shard stores resume like
-any store) is merged and persisted, and the next run re-executes only
-what is missing.
+Failure handling works at two granularities (DESIGN.md §13).  *Inside*
+a shard, the in-shard executor owns cell-level retries and quarantines
+under the parent's :class:`~repro.campaigns.resilience.RetryPolicy`;
+its quarantines travel back in the shard result (and its
+``failures.jsonl`` is folded into the parent's ledger with the
+telemetry stream).  A shard *worker death* is recovered within the same
+run: the dead shard's completed cells are already on disk in its store
+and merge back like any crashed campaign's, and its genuinely lost
+cells are charged one attempt each and **requeued onto a recovery pass
+over the surviving shard count** — repartitioned content-keyed, with
+the parent's attempt accounting forwarded so a cell that keeps killing
+its shard exhausts the same budget it would anywhere else and lands in
+the ledger instead of looping.  Requeues are counted in telemetry
+(``campaign.requeued_cells``, ``shard.requeue`` events); nothing is
+dropped silently, and nothing aborts the run.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.campaigns.backends.base import ExecutionContext
+from repro.campaigns.resilience import QUARANTINED, FailureLedger
 from repro.campaigns.spec import CampaignCell, CampaignSpec, canonical_json
 from repro.campaigns.store import ResultStore
 
@@ -80,7 +91,9 @@ class ShardSpec:
         a crashed run is resumed only when the partition (same pending
         cells, same shard count) is exactly reproduced — a changed
         partition gets fresh directories and stale ones are swept on the
-        next successful merge.
+        next successful merge.  Recovery passes repartition over a
+        different shard count, so their directories never collide with
+        the round that lost the cells.
         """
         digest = hashlib.sha1(
             canonical_json(
@@ -134,6 +147,11 @@ class _ShardTask:
     #: Ad-hoc scale override (or None → cells resolve their named scale).
     scale: object
     mls_engine: str | None
+    #: The parent run's retry policy (None = the executor default) and
+    #: its attempt accounting for this shard's cells, so in-shard
+    #: retries/quarantines spend the same budget as anywhere else.
+    retry_policy: object = None
+    initial_attempts: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -147,6 +165,9 @@ class _ShardResult:
     resumed: tuple
     cache_hits: int
     simulations_executed: int
+    #: ``(cell_key, attempts, error)`` for cells the in-shard executor
+    #: quarantined (already in the shard's own failures ledger).
+    failed: tuple = ()
 
 
 def _run_shard(task: _ShardTask) -> _ShardResult:
@@ -181,6 +202,8 @@ def _run_shard(task: _ShardTask) -> _ShardResult:
         # every line tagged with this shard's index; the parent folds
         # the file into its own stream after the merge (DESIGN.md §12).
         telemetry_attrs={"shard": task.shard_index},
+        retry_policy=task.retry_policy,
+        initial_attempts=dict(task.initial_attempts),
     )
     # The parent emits the campaign-wide roll-up counters after the
     # merge; a shard re-emitting its slice would double-count them in
@@ -207,12 +230,15 @@ def _run_shard(task: _ShardTask) -> _ShardResult:
         resumed=resumed,
         cache_hits=report.cache_hits,
         simulations_executed=report.simulations_executed,
+        failed=tuple(
+            (f.cell_key, f.attempts, f.error) for f in report.failed
+        ),
     )
 
 
 # --------------------------------------------------------------------- #
 class ShardBackend:
-    """Partition cells into per-store shards; run; merge back."""
+    """Partition cells into per-store shards; run; merge; recover."""
 
     def __init__(
         self,
@@ -285,8 +311,6 @@ class ShardBackend:
                 remaining.append(cell)
         if not remaining:
             return
-        # 2. Content-keyed partition of what's left.
-        shards = [s for s in partition_cells(remaining, self.n_shards) if s.cells]
         # Shard stores live under the parent store; a storeless run with
         # a cache still gets (temporary) shard stores, so shards keep
         # their warm-started sidecars and the run's cache still
@@ -300,6 +324,74 @@ class ShardBackend:
         else:
             shards_root = None  # fully in-memory: results return by IPC
         use_cache = ctx.cache is not None and shards_root is not None
+        # 2..4 Dispatch/merge/report rounds: the first round covers all
+        #    remaining cells over the full shard count; each dead shard
+        #    triggers a recovery round over the survivors with the lost
+        #    (retryable) cells repartitioned.
+        reported: set[str] = set()
+        todo = remaining
+        shard_count = self.n_shards
+        round_no = 0
+        try:
+            while todo:
+                shards = [
+                    s for s in partition_cells(todo, shard_count) if s.cells
+                ]
+                results, failures = self._dispatch_round(
+                    ctx, shards, shards_root, use_cache, round_no
+                )
+                if shards_root is not None:
+                    self._merge_round(ctx, shards, shards_root)
+                self._report_round(ctx, shards, results, reported)
+                if not failures:
+                    break
+                failed_shards = [s for s in shards if s.index in failures]
+                retryable = self._requeue_lost(
+                    ctx, failed_shards, failures, reported
+                )
+                if not retryable:
+                    break  # every lost cell is quarantined: recovered
+                survivors = max(1, shard_count - len(failed_shards))
+                ctx.leases.count_requeue(len(retryable))
+                rec.event(
+                    "shard.requeue",
+                    round=round_no + 1,
+                    n_cells=len(retryable),
+                    n_shards=survivors,
+                )
+                time.sleep(
+                    max(
+                        ctx.policy.delay_for(
+                            c.key, ctx.leases.attempts(c.key)
+                        )
+                        for c in retryable
+                    )
+                )
+                todo = retryable
+                shard_count = survivors
+                round_no += 1
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+        # 5. Sweep the shard scratch space once every pending cell is
+        #    accounted for (complete or quarantined) — a partial
+        #    recovery keeps its directories for the next invocation.
+        if (
+            ctx.store is not None
+            and not self.keep_shards
+            and all(
+                c.key in reported or ctx.leases.is_quarantined(c.key)
+                for c in remaining
+            )
+        ):
+            shutil.rmtree(ctx.store.root / SHARDS_DIR, ignore_errors=True)
+
+    # ------------------------------------------------------------------ #
+    def _dispatch_round(
+        self, ctx, shards, shards_root, use_cache, round_no
+    ):
+        """One subprocess per shard; ``(results by index, exceptions)``."""
+        rec = ctx.recorder
         warm = None
         if use_cache and Path(ctx.cache.path).exists():
             warm = str(ctx.cache.path)
@@ -317,94 +409,122 @@ class ShardBackend:
                 warm_cache=warm,
                 scale=ctx.scale_override,
                 mls_engine=ctx.mls_engine,
+                retry_policy=ctx.policy,
+                initial_attempts=tuple(
+                    (key, ctx.leases.attempts(key))
+                    for key in shard.cell_keys
+                    if ctx.leases.attempts(key) > 0
+                ),
             )
             for shard in shards
         ]
-        # 3. One subprocess per shard (in-process transport, for now).
         max_workers = self.max_workers or ctx.max_workers
         n_procs = min(len(tasks), max_workers or len(tasks))
         results: dict[int, _ShardResult] = {}
-        failures: dict[str, Exception] = {}
-        try:
-            with ProcessPoolExecutor(max_workers=n_procs) as pool:
-                futures = {}
-                for task, shard in zip(tasks, shards):
-                    # The parent's lease: cell → shard assignment.  The
-                    # worker re-emits its own (inline-tagged) lifecycle
-                    # into the shard stream, merged back below.
-                    for key in shard.cell_keys:
-                        rec.event("cell.leased", cell=key,
-                                  backend=self.name, shard=shard.index)
-                    rec.event("shard.dispatched", shard=shard.index,
-                              n_cells=len(shard.cells))
-                    futures[pool.submit(_run_shard, task)] = shard
-                for future in as_completed(futures):
-                    shard = futures[future]
-                    try:
-                        results[shard.index] = future.result()
-                        rec.event("shard.finished", shard=shard.index)
-                    except Exception as exc:  # noqa: BLE001
-                        # A failed shard fails its cells, never the run:
-                        # the other shards still complete and merge.
-                        failures[shard.key] = exc
-                        rec.event("shard.failed", shard=shard.index,
-                                  error=repr(exc))
-            # 4. Merge every shard store back — including a failed
-            #    shard's completed cells, which persist exactly like a
-            #    crashed campaign's and are skipped on re-run.  Shard
-            #    sidecar entries go to the run's *actual* cache file:
-            #    the store sidecar under eval_cache="auto", the shared
-            #    file under an explicit --cache (where inline and pool
-            #    would have appended them).
-            if shards_root is not None:
-                from repro.telemetry import merge_telemetry_files
+        failures: dict[int, Exception] = {}
+        with ProcessPoolExecutor(max_workers=n_procs) as pool:
+            futures = {}
+            for task, shard in zip(tasks, shards):
+                # The parent's lease: cell → shard assignment.  The
+                # worker re-emits its own (inline-tagged) lifecycle
+                # into the shard stream, merged back below.
+                for key in shard.cell_keys:
+                    rec.event("cell.leased", cell=key,
+                              backend=self.name, shard=shard.index)
+                rec.event("shard.dispatched", shard=shard.index,
+                          n_cells=len(shard.cells), round=round_no)
+                futures[pool.submit(_run_shard, task)] = shard
+            for future in as_completed(futures):
+                shard = futures[future]
+                try:
+                    results[shard.index] = future.result()
+                    rec.event("shard.finished", shard=shard.index,
+                              round=round_no)
+                except Exception as exc:  # noqa: BLE001
+                    # A dead shard loses only its *uncompleted* cells,
+                    # and only until the recovery round below — never
+                    # the run.
+                    failures[shard.index] = exc
+                    rec.event("shard.failed", shard=shard.index,
+                              round=round_no, error=repr(exc))
+        return results, failures
 
-                for shard in shards:
-                    shard_store = ResultStore(shards_root / shard.key)
-                    if ctx.store is not None:
-                        # Fold the shard's telemetry stream (if any) into
-                        # the parent's — additive by design (counter
-                        # lines are deltas), exactly once per shard.
-                        merge_telemetry_files(
-                            ctx.store.telemetry_path,
-                            shard_store.telemetry_path,
-                        )
-                    if not shard_store.spec_path.exists():
-                        continue  # shard died before writing anything
-                    if ctx.store is not None:
-                        ctx.store.merge_from(
-                            shard_store,
-                            eval_dest=(
-                                Path(ctx.cache.path)
-                                if ctx.cache is not None
-                                else None
-                            ),
-                        )
-                    elif ctx.cache is not None:
-                        ResultStore.merge_eval_files(
-                            Path(ctx.cache.path),
-                            shard_store.eval_cache_path,
-                        )
-                if (
-                    ctx.store is not None
-                    and not failures
-                    and not self.keep_shards
-                ):
-                    shutil.rmtree(shards_root, ignore_errors=True)
-        finally:
-            if tmp is not None:
-                tmp.cleanup()
-        # 5. Report (spec order is restored centrally by the executor).
+    @staticmethod
+    def _merge_round(ctx, shards, shards_root) -> None:
+        """Fold every shard store back — results, telemetry, failures.
+
+        Includes dead shards' stores: their completed cells persist
+        exactly like a crashed campaign's, so recovery re-executes only
+        what was genuinely lost.  Shard sidecar entries go to the run's
+        *actual* cache file: the store sidecar under ``eval_cache="auto"``,
+        the shared file under an explicit ``--cache`` (where inline and
+        pool would have appended them).
+        """
+        from repro.telemetry import merge_telemetry_files
+
+        for shard in shards:
+            shard_store = ResultStore(shards_root / shard.key)
+            if ctx.store is not None:
+                # Fold the shard's observation streams (if any) into
+                # the parent's — additive by design (counter lines are
+                # deltas; ledger entries are per-quarantine), exactly
+                # once per shard directory lifetime.
+                merge_telemetry_files(
+                    ctx.store.telemetry_path,
+                    shard_store.telemetry_path,
+                )
+                if shard_store.failures_path.exists():
+                    FailureLedger(ctx.store.failures_path).fold_from(
+                        shard_store.failures_path
+                    )
+                    shard_store.failures_path.unlink(missing_ok=True)
+            if not shard_store.spec_path.exists():
+                continue  # shard died before writing anything
+            if ctx.store is not None:
+                ctx.store.merge_from(
+                    shard_store,
+                    eval_dest=(
+                        Path(ctx.cache.path)
+                        if ctx.cache is not None
+                        else None
+                    ),
+                )
+            elif ctx.cache is not None:
+                ResultStore.merge_eval_files(
+                    Path(ctx.cache.path),
+                    shard_store.eval_cache_path,
+                )
+
+    @staticmethod
+    def _report_round(ctx, shards, results, reported: set[str]) -> None:
+        """Adopt shard outcomes into the run's report and lease table.
+
+        (Spec order is restored centrally by the executor.)
+        """
         from repro.campaigns.executor import CellResult
 
-        cell_by_key = {cell.key: cell for cell in remaining}
+        cell_by_key = {
+            cell.key: cell for shard in shards for cell in shard.cells
+        }
         for shard in shards:
             result = results.get(shard.index)
             if result is None:
                 continue
             ctx.report.cache_hits += result.cache_hits
             ctx.report.simulations_executed += result.simulations_executed
-            for key, records, payloads in (*result.executed, *result.resumed):
+            for key, attempts, error in result.failed:
+                # Already in the shard's ledger (folded into the
+                # parent's above) — adopt without re-recording.
+                ctx.leases.adopt_quarantine(key, attempts, error)
+                ctx.recorder.event(
+                    "cell.quarantined", cell=key, attempts=attempts,
+                    error=error, shard=shard.index,
+                )
+            for key, records, payloads in (*result.executed,
+                                           *result.resumed):
+                if key in reported:
+                    continue
+                reported.add(key)
                 ctx.report_cell(
                     CellResult(
                         cell=cell_by_key[key],
@@ -412,11 +532,36 @@ class ShardBackend:
                         payloads=payloads,
                     )
                 )
-        if failures:
-            details = "; ".join(
-                f"{key}: {exc!r}" for key, exc in sorted(failures.items())
-            )
-            raise RuntimeError(
-                f"{len(failures)} campaign shard(s) failed (completed shards "
-                f"were merged and will be skipped on re-run) — {details}"
-            )
+
+    @staticmethod
+    def _requeue_lost(ctx, failed_shards, failures, reported: set[str]):
+        """Charge one attempt per genuinely lost cell; return the
+        retryable ones (quarantined cells stay in the ledger)."""
+        from repro.campaigns.executor import CellResult
+
+        retryable = []
+        for shard in failed_shards:
+            exc = failures[shard.index]
+            for cell in shard.cells:
+                if ctx.leases.is_quarantined(cell.key):
+                    continue
+                if ctx.store is not None and ctx.store.is_complete(cell):
+                    # Completed inside the dead shard before it died and
+                    # merged back above — done, not lost.
+                    if cell.key not in reported:
+                        reported.add(cell.key)
+                        ctx.report_cell(
+                            CellResult(
+                                cell=cell,
+                                records=ctx.store.read_cell(cell),
+                                payloads=[],
+                            )
+                        )
+                    continue
+                verdict = ctx.fail_cell(
+                    cell.key,
+                    f"shard {shard.index} worker died: {exc!r}",
+                )
+                if verdict != QUARANTINED:
+                    retryable.append(cell)
+        return retryable

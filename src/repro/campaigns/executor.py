@@ -60,6 +60,13 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from repro.campaigns import faults
+from repro.campaigns.resilience import (
+    FailureLedger,
+    LeaseTable,
+    RetryPolicy,
+    maybe_heartbeat,
+)
 from repro.campaigns.spec import EVALUATE, CampaignCell, CampaignSpec
 from repro.campaigns.store import ResultStore
 from repro.manet.aedb import AEDBParams
@@ -80,7 +87,12 @@ from repro.tuning.cache import PersistentEvaluationCache
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.campaigns.backends.base import Backend
 
-__all__ = ["CampaignExecutor", "CampaignRunReport", "CellResult"]
+__all__ = [
+    "CampaignExecutor",
+    "CampaignRunReport",
+    "CellResult",
+    "CellFailure",
+]
 
 
 # --------------------------------------------------------------------- #
@@ -94,6 +106,10 @@ class _SimJob:
     #: Pointer to the scenario's shared-memory substrate, attached by
     #: the executor just before submission (None = per-process runtime).
     handle: SharedRuntimeHandle | None = None
+    #: Which attempt of the owning cell this job belongs to (1-based).
+    #: Stamped by the backend at submission; payloads never depend on it
+    #: (bit-identity), but the fault plane and heartbeat attrs do.
+    attempt: int = 1
 
 
 @dataclass(frozen=True)
@@ -110,6 +126,8 @@ class _TuneJob:
     seed: int
     scale: object  # ExperimentScale (kept untyped to avoid an import cycle)
     mls_engine: str | None
+    #: Attempt number of the owning cell (see :class:`_SimJob`).
+    attempt: int = 1
 
 
 def _execute_job(job):
@@ -126,13 +144,22 @@ def _execute_job(job):
     the batched delivery path by default and honour the parent's
     ``REPRO_BATCH_DELIVERIES`` / ``REPRO_LIVE_INDEX`` settings (read at
     simulator construction).  Results are bit-identical on every path.
+
+    Two resilience hooks bracket the work (DESIGN.md §13), both free
+    when their env toggles are unset: the fault plane may crash, hang,
+    or raise *before* the heartbeat starts (an injected hang models a
+    worker wedged so hard it never reports), and ``maybe_heartbeat``
+    streams ``cell.heartbeat`` lines at the parent's cadence while the
+    job runs so the pool driver can tell a long job from a dead one.
     """
-    if isinstance(job, _SimJob):
-        return BroadcastSimulator(
-            job.scenario, job.params,
-            runtime=attach_runtime(job.scenario, job.handle),
-        ).run()
-    return _run_tune_job(job)
+    faults.fire("worker", job.cell_key, job.attempt)
+    with maybe_heartbeat(job.cell_key):
+        if isinstance(job, _SimJob):
+            return BroadcastSimulator(
+                job.scenario, job.params,
+                runtime=attach_runtime(job.scenario, job.handle),
+            ).run()
+        return _run_tune_job(job)
 
 
 def _run_tune_job(job: _TuneJob):
@@ -226,6 +253,15 @@ class CellResult:
     payloads: list
 
 
+@dataclass(frozen=True)
+class CellFailure:
+    """One quarantined cell: it exhausted its retry budget this run."""
+
+    cell_key: str
+    attempts: int
+    error: str
+
+
 @dataclass
 class CampaignRunReport:
     """What one :meth:`CampaignExecutor.run` invocation did."""
@@ -237,10 +273,21 @@ class CampaignRunReport:
     cache_hits: int = 0
     #: Simulation jobs actually executed (cache hits excluded).
     simulations_executed: int = 0
+    #: Cells quarantined this run (recorded in ``failures.jsonl``,
+    #: never fatal — the run completes around them, DESIGN.md §13).
+    failed: list[CellFailure] = field(default_factory=list)
+    #: Failed attempts that were retried (quarantines excluded).
+    retries: int = 0
+    #: Cells put back on the queue after a worker/shard loss.
+    requeues: int = 0
 
     @property
     def executed_keys(self) -> list[str]:
         return [r.cell.key for r in self.executed]
+
+    @property
+    def failed_keys(self) -> list[str]:
+        return [f.cell_key for f in self.failed]
 
     @property
     def n_simulations(self) -> int:
@@ -265,6 +312,8 @@ class CampaignExecutor:
         backend: "Backend | str | None" = None,
         only_cells: Iterable[str] | None = None,
         telemetry_attrs: dict | None = None,
+        retry_policy: RetryPolicy | None = None,
+        initial_attempts: dict[str, int] | None = None,
     ):
         """``store=None`` runs in memory (results only in the report).
 
@@ -295,6 +344,15 @@ class CampaignExecutor:
         ``telemetry_attrs`` tags every telemetry line this run records
         (e.g. ``{"shard": 3}`` for a shard worker); ignored when
         ``REPRO_TELEMETRY`` is off.
+
+        ``retry_policy`` is the run's failure budget (DESIGN.md §13):
+        None means the default :class:`RetryPolicy` (3 attempts,
+        sub-second backoff, no timeouts/heartbeats);
+        :meth:`RetryPolicy.disabled` restores fail-fast single-attempt
+        behaviour.  ``initial_attempts`` pre-charges the attempt ledger
+        (``{cell key: attempts already failed elsewhere}``) — the hook
+        shard recovery passes use so a cell that crashed its shard does
+        not get a fresh budget in the next round.
         """
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
@@ -309,6 +367,8 @@ class CampaignExecutor:
         self.backend = backend
         self.only_cells = None if only_cells is None else tuple(only_cells)
         self.telemetry_attrs = dict(telemetry_attrs or {})
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._initial_attempts = dict(initial_attempts or {})
         #: Emit the run-level ``campaign.cache_hits`` /
         #: ``campaign.simulations_executed`` counters at the end of
         #: :meth:`run`.  Shard workers flip this off (their stream is
@@ -432,9 +492,19 @@ class CampaignExecutor:
         cells = self._selected_cells()
         self._check_algorithms(cells)
         backend = self._resolve_backend()
+        ledger = None
         if self.store is not None:
             self.store.save_spec(self.spec)
-            pending = [c for c in cells if not self.store.is_complete(c)]
+            ledger = FailureLedger(self.store.failures_path)
+            pending = []
+            for c in cells:
+                # heal_cell repairs the one recoverable damage shape —
+                # junk torn onto a complete file's tail by a crash
+                # mid-copy — so resume re-executes only genuinely
+                # unfinished cells (DESIGN.md §13).
+                if self.store.is_complete(c) or self.store.heal_cell(c):
+                    continue
+                pending.append(c)
         else:
             pending = list(cells)
         report = CampaignRunReport(
@@ -442,9 +512,14 @@ class CampaignExecutor:
             skipped=[c for c in cells if c not in pending],
         )
         if not pending:
+            if ledger is not None:
+                ledger.prune({c.key for c in cells})
             return report
         cache, owned = self._resolve_eval_cache()
         recorder, rec_owned = self._resolve_recorder()
+        leases = LeaseTable(self.retry_policy, ledger)
+        if self._initial_attempts:
+            leases.seed_attempts(self._initial_attempts)
         ctx = ExecutionContext(
             executor=self,
             pending=pending,
@@ -452,6 +527,7 @@ class CampaignExecutor:
             cache=cache,
             progress=progress,
             recorder=recorder,
+            leases=leases,
         )
         recorder.event(
             "campaign.run.started",
@@ -474,6 +550,24 @@ class CampaignExecutor:
             # failure path, so a partial report stays deterministic.
             order = {cell.key: i for i, cell in enumerate(pending)}
             report.executed.sort(key=lambda r: order[r.cell.key])
+            report.failed = [
+                CellFailure(cell_key=key, attempts=att, error=err)
+                for key, (att, err) in sorted(
+                    leases.quarantined.items(),
+                    key=lambda kv: order.get(kv[0], len(order)),
+                )
+            ]
+            report.retries = max(
+                0, leases.failures - len(leases.quarantined)
+            )
+            report.requeues = leases.requeues
+            if ledger is not None:
+                # Entries for cells that have since completed are stale
+                # (a retried run recovered them); drop them so
+                # ``campaign failures`` reports only live quarantines.
+                ledger.prune(
+                    {c.key for c in cells if self.store.is_complete(c)}
+                )
             if owned and cache is not None:
                 cache.close()
             if self._emit_rollup_counters:
@@ -482,12 +576,21 @@ class CampaignExecutor:
                     "campaign.simulations_executed",
                     report.simulations_executed,
                 )
+                if report.retries:
+                    recorder.count("campaign.retries", report.retries)
+                if report.requeues:
+                    recorder.count("campaign.requeued_cells",
+                                   report.requeues)
+                if report.failed:
+                    recorder.count("campaign.quarantined_cells",
+                                   len(report.failed))
             recorder.event(
                 "campaign.run.finished",
                 backend=backend.name,
                 executed=len(report.executed),
                 cache_hits=report.cache_hits,
                 simulations_executed=report.simulations_executed,
+                quarantined=len(report.failed),
             )
             if rec_owned:
                 recorder.close()

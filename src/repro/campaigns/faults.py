@@ -1,0 +1,233 @@
+"""Deterministic fault injection for the campaign resilience layer.
+
+The chaos suite (``tests/campaigns/test_chaos.py``) needs to *cause*
+worker crashes, hangs, torn store tails, and protocol exceptions on
+demand — reproducibly, in specific worker processes, without patching
+code across process boundaries.  This module is that plane: a fault
+spec is parsed from the ``REPRO_FAULTS`` environment variable (so it
+crosses ``fork``/``spawn`` for free, like every other ``REPRO_*``
+toggle), and every fault decision is a pure function of the campaign
+cell's content key and the attempt number — the same cell faults the
+same way in every run, which is what lets chaos tests assert exact
+recovery paths and byte-identical final stores.
+
+Spec grammar (``;``-separated clauses)::
+
+    REPRO_FAULTS="action[(param)]:selector[@N]"
+
+    action    crash        os._exit(param or 23) — a hard worker death
+              hang         time.sleep(param or 30) — a wedged worker
+              raise        raise InjectedFault — a failing protocol
+              torn-tail    append a partial JSON line to the freshly
+                           written cell file — a crash mid-append
+    selector  *            every cell
+              prefix*      cell keys starting with prefix
+              <hex key>    one exact cell key
+              %M=R         int(sha1(key),16) % M == R — a reproducible
+                           "every Mth cell" without naming keys
+    @N        fire while attempt <= N (default 1): the classic
+              transient fault that succeeds on retry.  @0 means always
+              (a poison cell).  torn-tail counts *fires* instead of
+              attempts — the store layer has no attempt in scope, and
+              "tear the first N writes" is the useful chaos shape.
+
+Example: ``crash:2f*@1;raise:%3=0@2`` — workers executing cells whose
+key starts with ``2f`` die hard on the first attempt, and every cell
+with ``sha1 % 3 == 0`` raises on attempts 1–2 then succeeds.
+
+Production safety: with ``REPRO_FAULTS`` unset (the default, and the
+only supported production state) both hooks reduce to one cached
+``os.environ.get`` plus a ``None`` check per call — the plane has no
+steady-state cost, mirroring the telemetry off-switch discipline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "InjectedFault",
+    "FaultRule",
+    "FaultPlane",
+    "active_plane",
+    "fire",
+    "maybe_tear",
+    "FAULTS_ENV",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+_ACTIONS = ("crash", "hang", "raise", "torn-tail")
+
+#: Junk appended by ``torn-tail`` — a syntactically broken JSON prefix
+#: with no trailing newline, exactly what a crash mid-``write`` leaves.
+TORN_JUNK = '{"kind":"record","torn'
+
+
+class InjectedFault(RuntimeError):
+    """Raised by the ``raise`` action inside a worker."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed clause of a ``REPRO_FAULTS`` spec."""
+
+    action: str
+    selector: str
+    #: crash → exit code; hang → seconds.  None = action default.
+    param: float | None = None
+    #: Fire while attempt (or fire count, for torn-tail) <= max_attempt;
+    #: 0 = no bound (always fire).
+    max_attempt: int = 1
+
+    def matches(self, cell_key: str) -> bool:
+        sel = self.selector
+        if sel == "*":
+            return True
+        if sel.startswith("%"):
+            modulus, _, residue = sel[1:].partition("=")
+            return (
+                int(hashlib.sha1(cell_key.encode("utf-8")).hexdigest(), 16)
+                % int(modulus)
+                == int(residue)
+            )
+        if sel.endswith("*"):
+            return cell_key.startswith(sel[:-1])
+        return cell_key == sel
+
+    def armed(self, attempt: int) -> bool:
+        return self.max_attempt == 0 or attempt <= self.max_attempt
+
+
+def _parse_clause(clause: str) -> FaultRule:
+    head, sep, selector = clause.partition(":")
+    if not sep or not selector:
+        raise ValueError(
+            f"fault clause {clause!r} must look like action:selector[@N]"
+        )
+    param: float | None = None
+    if "(" in head:
+        head, _, raw = head.partition("(")
+        raw = raw.rstrip(")")
+        param = float(raw)
+    action = head.strip()
+    if action not in _ACTIONS:
+        raise ValueError(
+            f"unknown fault action {action!r} (expected one of {_ACTIONS})"
+        )
+    max_attempt = 1
+    if "@" in selector:
+        selector, _, raw = selector.rpartition("@")
+        max_attempt = int(raw)
+        if max_attempt < 0:
+            raise ValueError(f"@N must be >= 0 in fault clause {clause!r}")
+    selector = selector.strip()
+    if selector.startswith("%"):
+        modulus, eq, residue = selector[1:].partition("=")
+        if not eq or not modulus.isdigit() or not residue.isdigit():
+            raise ValueError(
+                f"hash selector must be %M=R, got {selector!r}"
+            )
+        if int(modulus) <= 0:
+            raise ValueError(f"hash selector modulus must be > 0: {selector!r}")
+    return FaultRule(
+        action=action, selector=selector, param=param, max_attempt=max_attempt
+    )
+
+
+class FaultPlane:
+    """The parsed rule set for one ``REPRO_FAULTS`` value."""
+
+    def __init__(self, spec: str):
+        self.spec = spec
+        self.rules = tuple(
+            _parse_clause(clause.strip())
+            for clause in spec.split(";")
+            if clause.strip()
+        )
+        # torn-tail fires are counted per (rule, cell) in-process: the
+        # store write path has no attempt number in scope, and a
+        # process-local counter is exactly "tear the first N writes this
+        # process performs for this cell".
+        self._fires: dict[tuple[int, str], int] = {}
+        self._lock = threading.Lock()
+
+    def _count_fire(self, rule_index: int, cell_key: str, bound: int) -> bool:
+        """Reserve one fire of a count-bounded rule; False if exhausted."""
+        with self._lock:
+            key = (rule_index, cell_key)
+            count = self._fires.get(key, 0)
+            if bound != 0 and count >= bound:
+                return False
+            self._fires[key] = count + 1
+            return True
+
+    # ------------------------------------------------------------------ #
+    def fire(self, site: str, cell_key: str, attempt: int) -> None:
+        """Trigger matching worker faults (``site`` is documentation in
+        the raised error; the action set is the same everywhere)."""
+        for rule in self.rules:
+            if rule.action == "torn-tail":
+                continue  # store-side hook, see maybe_tear()
+            if not rule.armed(attempt) or not rule.matches(cell_key):
+                continue
+            if rule.action == "crash":
+                code = 23 if rule.param is None else int(rule.param)
+                os._exit(code)
+            if rule.action == "hang":
+                time.sleep(30.0 if rule.param is None else rule.param)
+                continue  # a hang that outlives its timeout was killed
+            raise InjectedFault(
+                f"injected fault at {site} for cell {cell_key[:12]} "
+                f"(attempt {attempt})"
+            )
+
+    def maybe_tear(self, path, cell_key: str) -> bool:
+        """Append torn junk to ``path`` if a torn-tail rule fires."""
+        for index, rule in enumerate(self.rules):
+            if rule.action != "torn-tail" or not rule.matches(cell_key):
+                continue
+            if not self._count_fire(index, cell_key, rule.max_attempt):
+                continue
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(TORN_JUNK)
+            return True
+        return False
+
+
+# Memoised on the env *value*, so tests that flip REPRO_FAULTS between
+# runs get fresh planes while the hot path pays one dict probe.
+_planes: dict[str, FaultPlane] = {}
+
+
+def active_plane() -> FaultPlane | None:
+    """The plane for the current ``REPRO_FAULTS`` value (None = unset)."""
+    spec = os.environ.get(FAULTS_ENV)
+    if not spec:
+        return None
+    plane = _planes.get(spec)
+    if plane is None:
+        plane = FaultPlane(spec)
+        _planes[spec] = plane
+    return plane
+
+
+def fire(site: str, cell_key: str, attempt: int) -> None:
+    """Worker-side hook: crash/hang/raise if a rule matches.  No-op
+    (one env lookup) when ``REPRO_FAULTS`` is unset."""
+    plane = active_plane()
+    if plane is not None:
+        plane.fire(site, cell_key, attempt)
+
+
+def maybe_tear(path, cell_key: str) -> bool:
+    """Store-side hook: tear the freshly written cell file's tail if a
+    ``torn-tail`` rule matches.  No-op when ``REPRO_FAULTS`` is unset."""
+    plane = active_plane()
+    if plane is None:
+        return False
+    return plane.maybe_tear(path, cell_key)

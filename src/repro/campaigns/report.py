@@ -5,7 +5,12 @@ from __future__ import annotations
 from repro.campaigns.spec import EVALUATE, CampaignSpec
 from repro.campaigns.store import MergeReport, ResultStore
 
-__all__ = ["render_status", "render_report", "render_merge"]
+__all__ = [
+    "render_status",
+    "render_report",
+    "render_merge",
+    "render_failures",
+]
 
 
 def render_status(spec: CampaignSpec, store: ResultStore) -> str:
@@ -40,10 +45,22 @@ def render_status(spec: CampaignSpec, store: ResultStore) -> str:
             f"{telemetry.counter('campaign.simulations_executed')} "
             "simulation(s) executed"
         )
+    from repro.campaigns.resilience import FailureLedger
+
+    quarantined = FailureLedger(store.failures_path).latest_by_cell()
+    if quarantined:
+        lines.append(
+            f"quarantined: {len(quarantined)} cell(s) in "
+            f"{store.FAILURES_FILE} (see `campaign failures`)"
+        )
     pending = store.pending_cells(spec)
     if pending:
         lines.append("pending cells:")
-        lines += [f"  {cell.key}" for cell in pending]
+        lines += [
+            f"  {cell.key}"
+            + ("  [quarantined]" if cell.key in quarantined else "")
+            for cell in pending
+        ]
     return "\n".join(lines)
 
 
@@ -99,5 +116,51 @@ def render_merge(dest: ResultStore, reports: list[MergeReport]) -> str:
     lines.append(
         f"total: {sum(r.cells_merged for r in reports)} cells merged, "
         f"{sum(r.eval_entries_merged for r in reports)} eval entries merged"
+    )
+    return "\n".join(lines)
+
+
+def render_failures(spec: CampaignSpec, store: ResultStore) -> str:
+    """The quarantine ledger, newest entry per cell (``campaign
+    failures``).  Entries for cells that have since completed were
+    pruned by the run that recovered them; anything listed here is a
+    cell the retry budget could not save (DESIGN.md §13)."""
+    import time as _time
+
+    from repro.campaigns.resilience import FailureLedger
+
+    ledger = FailureLedger(store.failures_path)
+    latest = ledger.latest_by_cell()
+    if not latest:
+        return (
+            f"campaign '{spec.name}': no quarantined cells "
+            f"(no {store.FAILURES_FILE} entries under {store.root})"
+        )
+    known = {cell.key: cell for cell in spec.cells()}
+    lines = [
+        f"campaign '{spec.name}': {len(latest)} quarantined cell(s)",
+        f"ledger: {store.failures_path}",
+    ]
+    for key in sorted(latest, key=lambda k: latest[k].get("t", 0.0)):
+        entry = latest[key]
+        cell = known.get(key)
+        what = (
+            f"{cell.density_per_km2:g}/km2 {cell.mobility_model} "
+            f"seed {cell.seed_index} {cell.algorithm}"
+            if cell is not None
+            else "(not in current spec)"
+        )
+        stamp = _time.strftime(
+            "%Y-%m-%d %H:%M:%S", _time.localtime(entry.get("t", 0.0))
+        )
+        lines.append(
+            f"  {key}  {what}\n"
+            f"    {entry.get('attempts', '?')} attempt(s), last {stamp}: "
+            f"{entry.get('error', '')}"
+        )
+    lines.append(
+        "re-run the campaign to retry quarantined cells "
+        "(completed cells are skipped; recovered cells are pruned "
+        "from the ledger)"
     )
     return "\n".join(lines)

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.campaigns.spec import CampaignCell, CampaignSpec, canonical_json
+from repro.utils.jsonl import ensure_line_boundary
 
 __all__ = ["ResultStore", "CampaignStatus", "MergeConflictError", "MergeReport"]
 
@@ -104,6 +105,7 @@ class ResultStore:
     CELLS_DIR = "cells"
     EVAL_CACHE_FILE = "evaluations.jsonl"
     TELEMETRY_FILE = "telemetry.jsonl"
+    FAILURES_FILE = "failures.jsonl"
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
@@ -129,6 +131,18 @@ class ResultStore:
         eval sidecar's key set), never this file's wall-clock content.
         """
         return self.root / self.TELEMETRY_FILE
+
+    @property
+    def failures_path(self) -> Path:
+        """The campaign's quarantine ledger (DESIGN.md §13).
+
+        Written by the resilience layer's
+        :class:`~repro.campaigns.resilience.FailureLedger` when a cell
+        exhausts its retry budget.  Like the telemetry stream, outside
+        the bit-identity surface — it exists precisely for the runs
+        whose stores are incomplete.
+        """
+        return self.root / self.FAILURES_FILE
 
     def cell_path(self, cell: CampaignCell) -> Path:
         return self.root / self.CELLS_DIR / f"{cell.key}.jsonl"
@@ -172,6 +186,12 @@ class ResultStore:
         path = self.cell_path(cell)
         path.parent.mkdir(parents=True, exist_ok=True)
         self._write_atomic(path, "\n".join(lines) + "\n")
+        if os.environ.get("REPRO_FAULTS"):
+            # Chaos-only hook: simulate a crash mid-append after the
+            # atomic write (DESIGN.md §13).  Unreachable in production.
+            from repro.campaigns import faults
+
+            faults.maybe_tear(path, cell.key)
 
     def read_cell(self, cell: CampaignCell) -> list[dict]:
         """The result records of a completed cell (raises if incomplete).
@@ -207,6 +227,36 @@ class ResultStore:
         except FileNotFoundError:
             return False
         return self._complete_entries(lines) is not None
+
+    def heal_cell(self, cell: CampaignCell) -> bool:
+        """Repair a cell file whose only damage is a torn tail *after*
+        the done marker (junk appended by a crash mid-copy or a chaos
+        ``torn-tail`` fault).  The valid prefix — header, records, done
+        marker — is rewritten atomically in canonical form, so a healed
+        file is byte-identical to a cleanly written one.  Returns True
+        iff the file was healed to complete; anything unrecoverable
+        (missing, mid-file damage, no done marker: the cell genuinely
+        needs re-execution) is left alone and returns False.
+        """
+        path = self.cell_path(cell)
+        try:
+            lines = path.read_text().splitlines()
+        except FileNotFoundError:
+            return False
+        entries, damaged = self._parse_entries(lines)
+        if not damaged:
+            return False  # clean file: complete or not, nothing to heal
+        if (
+            not entries
+            or entries[-1].get("kind") != "done"
+            or entries[0].get("kind") != "cell"
+            or entries[0].get("key") != cell.key
+        ):
+            return False
+        self._write_atomic(
+            path, "\n".join(canonical_json(e) for e in entries) + "\n"
+        )
+        return True
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -381,6 +431,7 @@ class ResultStore:
                 )
         if fresh:
             dest.parent.mkdir(parents=True, exist_ok=True)
+            ensure_line_boundary(dest)
             with dest.open("a", encoding="utf-8") as fh:
                 fh.write("\n".join(fresh) + "\n")
                 fh.flush()

@@ -18,7 +18,11 @@ Subcommands map to the deliverables:
   ``campaign report``, ``campaign merge`` (fold shard stores into one
   directory, dedup + conflict-checked), ``campaign telemetry`` (replay
   a run's ``telemetry.jsonl`` — recorded when ``REPRO_TELEMETRY`` is
-  set — into a timing/counter summary or a Prometheus snapshot);
+  set — into a timing/counter summary or a Prometheus snapshot), and
+  ``campaign failures`` (the quarantine ledger: cells that exhausted
+  their retry budget, DESIGN.md §13 — ``campaign run`` takes
+  ``--retries/--cell-timeout/--heartbeat`` and exits 2 when cells were
+  quarantined, never aborting the run);
 * ``cache``       — maintenance of the persistent evaluation cache
   (the ``evaluations.jsonl`` sidecar): ``cache stats``, ``cache flush``.
 
@@ -159,6 +163,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shared-runtime", action="store_true",
         help="keep pool workers on per-process runtimes (no shared memory)",
     )
+    run_p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per cell before quarantine (default 3; 1 = "
+             "fail-fast, no retries)",
+    )
+    run_p.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="S",
+        help="per-cell inactivity timeout in seconds (pool backend): "
+             "an attempt with no completed job within S is failed and "
+             "retried (default: no timeout)",
+    )
+    run_p.add_argument(
+        "--heartbeat", type=float, default=None, metavar="S",
+        help="worker heartbeat cadence in seconds: workers stream "
+             "cell.heartbeat events so the parent detects hangs, not "
+             "just crashes (default: off)",
+    )
 
     status_p = camp_sub.add_parser("status", help="completion census")
     status_p.add_argument("--out", required=True, help="campaign directory")
@@ -180,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     report_p = camp_sub.add_parser("report", help="render completed results")
     report_p.add_argument("--out", required=True, help="campaign directory")
+
+    fail_p = camp_sub.add_parser(
+        "failures",
+        help="report quarantined cells (the failures.jsonl ledger)",
+    )
+    fail_p.add_argument("--out", required=True, help="campaign directory")
 
     merge_p = camp_sub.add_parser(
         "merge", help="merge shard stores into one campaign directory"
@@ -363,6 +390,7 @@ def _cmd_campaign(args, scale) -> int:
     from repro.campaigns import (
         CampaignExecutor,
         ResultStore,
+        render_failures,
         render_merge,
         render_report,
         render_status,
@@ -372,6 +400,9 @@ def _cmd_campaign(args, scale) -> int:
     store = ResultStore(args.out)
     if args.campaign_command == "status":
         print(render_status(store.load_spec(), store))
+        return 0
+    if args.campaign_command == "failures":
+        print(render_failures(store.load_spec(), store))
         return 0
     if args.campaign_command == "telemetry":
         from repro.telemetry import (
@@ -412,6 +443,23 @@ def _cmd_campaign(args, scale) -> int:
         choice = spec.backend
     if choice is not None:
         backend = resolve_backend(choice, keep_shards=args.keep_shards)
+    retry_policy = None
+    if (
+        args.retries is not None
+        or args.cell_timeout is not None
+        or args.heartbeat is not None
+    ):
+        from repro.campaigns import RetryPolicy
+
+        defaults = RetryPolicy()
+        retry_policy = RetryPolicy(
+            max_attempts=(
+                defaults.max_attempts if args.retries is None
+                else args.retries
+            ),
+            cell_timeout_s=args.cell_timeout,
+            heartbeat_s=args.heartbeat,
+        )
     executor = CampaignExecutor(
         spec, store, max_workers=args.workers, serial=args.serial,
         backend=backend,
@@ -421,6 +469,7 @@ def _cmd_campaign(args, scale) -> int:
             else "auto"
         ),
         shared_runtimes=not args.no_shared_runtime,
+        retry_policy=retry_policy,
     )
     report = executor.run(
         progress=lambda r: print(f"  cell {r.cell.key} done", flush=True)
@@ -432,6 +481,15 @@ def _cmd_campaign(args, scale) -> int:
         f"{report.cache_hits} served from cache)"
     )
     print(render_status(spec, store))
+    if report.failed:
+        # A quarantined cell is a partial result, not an abort: exit 2
+        # so scripts can tell "grid incomplete" from argparse errors.
+        print(
+            f"warning: {len(report.failed)} cell(s) quarantined after "
+            f"exhausting retries — `repro-aedb campaign failures "
+            f"--out {args.out}` for details"
+        )
+        return 2
     return 0
 
 

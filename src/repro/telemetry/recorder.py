@@ -39,6 +39,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Iterable, Iterator, Protocol, runtime_checkable
 
+from repro.utils.jsonl import ensure_line_boundary
+
 __all__ = [
     "Recorder",
     "NullRecorder",
@@ -328,6 +330,7 @@ class JsonlRecorder:
             return
         if self._writer is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            ensure_line_boundary(self.path)
             self._writer = self.path.open("a", encoding="utf-8")
         self._writer.write(
             json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
@@ -490,6 +493,7 @@ def merge_telemetry_files(dest: str | Path, src: str | Path) -> int:
         return 0
     dest = Path(dest)
     dest.parent.mkdir(parents=True, exist_ok=True)
+    ensure_line_boundary(dest)
     with dest.open("a", encoding="utf-8") as fh:
         fh.write("\n".join(lines) + "\n")
         fh.flush()

@@ -41,6 +41,7 @@ from repro.manet.aedb import AEDBParams
 from repro.manet.metrics import BroadcastMetrics
 from repro.manet.scenarios import NetworkScenario
 from repro.telemetry import get_recorder
+from repro.utils.jsonl import ensure_line_boundary
 
 __all__ = ["EvaluationCache", "PersistentEvaluationCache"]
 
@@ -308,6 +309,7 @@ class PersistentEvaluationCache:
             self._entries[key] = metrics
             if self._writer is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
+                ensure_line_boundary(self.path)
                 self._writer = self.path.open("a", encoding="utf-8")
             self._writer.write(line + "\n")
             self._writer.flush()

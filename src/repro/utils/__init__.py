@@ -5,6 +5,7 @@ These modules are dependency-free (NumPy only) and used by every other
 subpackage; nothing here knows about MANETs or optimisation.
 """
 
+from repro.utils.jsonl import ensure_line_boundary
 from repro.utils.rng import RngFactory, as_generator, spawn_generators
 from repro.utils.units import (
     DBM_MINUS_INF,
@@ -31,4 +32,5 @@ __all__ = [
     "check_in_range",
     "check_positive",
     "check_probability",
+    "ensure_line_boundary",
 ]

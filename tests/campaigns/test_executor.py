@@ -241,6 +241,16 @@ def _flaky_execute(job):
     return _real_execute(job)
 
 
+#: Cell keys that fail on attempt 1 only (transient-failure fixture).
+_FAIL_ONCE_KEYS: set[str] = set()
+
+
+def _fail_first_attempt(job):
+    if job.cell_key in _FAIL_ONCE_KEYS and job.attempt <= 1:
+        raise RuntimeError(f"transient boom in {job.cell_key}")
+    return _real_execute(job)
+
+
 from repro.campaigns.executor import _execute_job as _real_execute  # noqa: E402
 
 
@@ -248,10 +258,12 @@ class TestFailureIsolation:
     def test_failed_cell_does_not_abort_the_others(
         self, tmp_path, monkeypatch
     ):
-        """One failing cell: every other cell still completes and
-        persists; the error surfaces at the end; a re-run executes only
-        the failed cell."""
+        """One persistently failing cell: every other cell completes and
+        persists, the poison cell is retried then *quarantined* into the
+        failure ledger (never an aborted run, DESIGN.md §13), and a
+        healthy re-run recovers it and prunes the ledger."""
         import repro.campaigns.executor as executor_mod
+        from repro.campaigns.resilience import FailureLedger, RetryPolicy
 
         spec = tiny_spec(
             densities=(100,), mobility_models=("random-walk",), n_seeds=3
@@ -261,18 +273,66 @@ class TestFailureIsolation:
         _FAIL_KEYS.add(bad.key)
         monkeypatch.setattr(executor_mod, "_execute_job", _flaky_execute)
         store = ResultStore(tmp_path)
+        policy = RetryPolicy(
+            max_attempts=2, base_delay_s=0.001, max_delay_s=0.002
+        )
         try:
-            with pytest.raises(RuntimeError, match="1 campaign cell"):
-                CampaignExecutor(spec, store, max_workers=2).run()
+            report = CampaignExecutor(
+                spec, store, max_workers=2, retry_policy=policy
+            ).run()
         finally:
             _FAIL_KEYS.clear()
+        assert report.failed_keys == [bad.key]
+        assert report.failed[0].attempts == 2
+        assert "boom" in report.failed[0].error
+        assert report.retries == 1
         assert not store.is_complete(bad)
         assert store.is_complete(cells[0])
         assert store.is_complete(cells[2])
+        ledger = FailureLedger(store.failures_path)
+        assert [e["cell"] for e in ledger.entries()] == [bad.key]
 
         monkeypatch.setattr(executor_mod, "_execute_job", _real_execute)
         report = CampaignExecutor(spec, store, max_workers=2).run()
         assert report.executed_keys == [bad.key]
+        assert report.failed == []
+        # The recovered cell's ledger entry is pruned by the run that
+        # completed it.
+        assert ledger.entries() == []
+
+    def test_transient_failure_retries_to_success(
+        self, tmp_path, monkeypatch
+    ):
+        """A cell that fails once succeeds on its second attempt within
+        the same run — retry, not quarantine."""
+        import repro.campaigns.executor as executor_mod
+        from repro.campaigns.resilience import RetryPolicy
+
+        spec = tiny_spec(
+            densities=(100,), mobility_models=("random-walk",), n_seeds=2
+        )
+        cells = spec.cells()
+        flaky = cells[0]
+        _FAIL_ONCE_KEYS.add(flaky.key)
+        monkeypatch.setattr(
+            executor_mod, "_execute_job", _fail_first_attempt
+        )
+        store = ResultStore(tmp_path)
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=0.001, max_delay_s=0.002
+        )
+        try:
+            report = CampaignExecutor(
+                spec, store, serial=True, retry_policy=policy
+            ).run()
+        finally:
+            _FAIL_ONCE_KEYS.clear()
+        assert report.failed == []
+        assert report.retries == 1
+        assert sorted(report.executed_keys) == sorted(
+            c.key for c in cells
+        )
+        assert store.is_complete(flaky)
 
 
 class TestRendering:

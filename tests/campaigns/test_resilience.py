@@ -1,0 +1,360 @@
+"""Unit tests for the resilience primitives (DESIGN.md §13).
+
+The chaos suite (``test_chaos.py``) proves the end-to-end recovery
+paths; this file pins the building blocks in isolation — deterministic
+backoff, the lease/attempt ledger, the quarantine ledger's torn-tail
+tolerance, fault-spec parsing, store healing, and both heartbeat
+transports — so a chaos failure bisects to one primitive.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.campaigns import CampaignSpec
+from repro.campaigns.faults import (
+    TORN_JUNK,
+    FaultPlane,
+    FaultRule,
+    InjectedFault,
+    _parse_clause,
+    active_plane,
+)
+from repro.campaigns.resilience import (
+    QUARANTINED,
+    RETRY,
+    FailureLedger,
+    HeartbeatMonitor,
+    LeaseTable,
+    RetryPolicy,
+    heartbeat_env,
+    maybe_heartbeat,
+    recorder_heartbeat,
+)
+from repro.campaigns.store import ResultStore
+
+
+class TestRetryPolicy:
+    def test_defaults_retry_without_timeouts(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.retries_enabled
+        assert policy.cell_timeout_s is None
+        assert policy.liveness_timeout_s is None
+
+    def test_disabled_is_fail_fast(self):
+        policy = RetryPolicy.disabled()
+        assert policy.max_attempts == 1
+        assert not policy.retries_enabled
+        assert not policy.allows(1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"backoff_factor": 0.5},
+            {"jitter": -0.1},
+            {"cell_timeout_s": 0.0},
+            {"heartbeat_s": -2.0},
+            {"heartbeat_timeout_s": 0.0},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_is_deterministic_and_exponential(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, backoff_factor=2.0, max_delay_s=10.0, jitter=0.1
+        )
+        d1 = policy.delay_for("cell-a", 1)
+        d2 = policy.delay_for("cell-a", 2)
+        d3 = policy.delay_for("cell-a", 3)
+        # Same inputs, same delay — the schedule replays across runs.
+        assert d1 == policy.delay_for("cell-a", 1)
+        # Exponential base, jitter bounded to +10%.
+        assert 0.1 <= d1 <= 0.1 * 1.1
+        assert 0.2 <= d2 <= 0.2 * 1.1
+        assert 0.4 <= d3 <= 0.4 * 1.1
+        # Different cells draw different jitter (with overwhelming
+        # probability for any fixed pair — these two differ).
+        assert d1 != policy.delay_for("cell-b", 1)
+
+    def test_delay_caps_at_max(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, backoff_factor=10.0, max_delay_s=2.0, jitter=0.0
+        )
+        assert policy.delay_for("c", 5) == 2.0
+
+    def test_liveness_derived_from_heartbeat(self):
+        assert RetryPolicy(heartbeat_s=0.5).liveness_timeout_s == 2.5
+        assert RetryPolicy(heartbeat_s=0.05).liveness_timeout_s == 1.0
+        assert (
+            RetryPolicy(heartbeat_s=0.5, heartbeat_timeout_s=9.0)
+            .liveness_timeout_s == 9.0
+        )
+
+
+class TestLeaseTable:
+    def test_retry_then_quarantine(self, tmp_path):
+        ledger = FailureLedger(tmp_path / "failures.jsonl")
+        table = LeaseTable(RetryPolicy(max_attempts=3), ledger)
+        for expected_attempt, verdict in ((1, RETRY), (2, RETRY),
+                                          (3, QUARANTINED)):
+            lease = table.acquire("cell", "w0")
+            assert lease.attempt == expected_attempt
+            assert table.fail("cell", "boom") == verdict
+        assert table.quarantined["cell"] == (3, "boom")
+        assert table.failures == 3
+        entries = ledger.entries()
+        assert [e["cell"] for e in entries] == ["cell"]
+        assert entries[0]["attempts"] == 3
+
+    def test_generation_counting_not_per_job(self):
+        """Ten jobs of one cell failing on attempt 1 spend ONE attempt."""
+        table = LeaseTable(RetryPolicy(max_attempts=3))
+        for _ in range(10):
+            assert table.fail("cell", "boom", attempt=1) == RETRY
+        assert table.attempts("cell") == 1
+        assert table.next_attempt("cell") == 2
+
+    def test_touch_and_beat_extend_deadlines(self):
+        policy = RetryPolicy(cell_timeout_s=1.0, heartbeat_s=0.5)
+        table = LeaseTable(policy)
+        lease = table.acquire("cell", "w0", now=100.0)
+        assert lease.hard_deadline == 101.0
+        assert lease.liveness_deadline == 102.5
+        assert table.expired(now=101.5) == [lease]
+        table.touch("cell", now=101.4)
+        assert lease.hard_deadline == 102.4
+        assert table.expired(now=101.5) == []
+        table.beat("cell", now=103.0)
+        assert lease.liveness_deadline == 105.5
+        # beat() extends liveness only — the hard deadline still trips.
+        assert table.expired(now=103.5) == [lease]
+        assert not table.beat("unknown")
+
+    def test_release_and_holds(self):
+        table = LeaseTable(RetryPolicy())
+        table.acquire("cell", "w0")
+        assert table.holds("cell")
+        assert table.attempt_of("cell") == 1
+        table.release("cell")
+        assert not table.holds("cell")
+        assert table.attempt_of("cell") is None
+
+    def test_seed_attempts_forwards_budget(self):
+        """A recovery pass inherits the parent's accounting — a cell
+        that already burned 2 attempts has 1 left, not 3."""
+        table = LeaseTable(RetryPolicy(max_attempts=3))
+        table.seed_attempts({"cell": 2})
+        assert table.next_attempt("cell") == 3
+        assert table.fail("cell", "again", attempt=3) == QUARANTINED
+
+    def test_adopt_quarantine_does_not_rerecord(self, tmp_path):
+        ledger = FailureLedger(tmp_path / "failures.jsonl")
+        table = LeaseTable(RetryPolicy(), ledger)
+        table.adopt_quarantine("cell", attempts=3, error="shard boom")
+        assert table.quarantined["cell"] == (3, "shard boom")
+        assert ledger.entries() == []  # decided (and recorded) elsewhere
+
+
+class TestFailureLedger:
+    def test_torn_and_foreign_lines_skipped(self, tmp_path):
+        ledger = FailureLedger(tmp_path / "failures.jsonl")
+        ledger.record("cell-a", attempts=3, error="boom")
+        with ledger.path.open("a") as fh:
+            fh.write('{"v":99,"kind":"failure","cell":"other"}\n')
+            fh.write('{"kind":"failure","cell":"torn-mid')  # torn tail
+        assert [e["cell"] for e in ledger.entries()] == ["cell-a"]
+
+    def test_latest_supersedes(self, tmp_path):
+        ledger = FailureLedger(tmp_path / "failures.jsonl")
+        ledger.record("cell-a", attempts=3, error="first")
+        ledger.record("cell-a", attempts=3, error="second")
+        assert ledger.latest_by_cell()["cell-a"]["error"] == "second"
+
+    def test_prune_drops_completed_and_dedupes(self, tmp_path):
+        ledger = FailureLedger(tmp_path / "failures.jsonl")
+        ledger.record("cell-a", attempts=3, error="first")
+        ledger.record("cell-a", attempts=3, error="second")
+        ledger.record("cell-b", attempts=3, error="boom")
+        assert ledger.prune({"cell-b"}) == 2  # dup of a + all of b
+        remaining = ledger.entries()
+        assert [e["cell"] for e in remaining] == ["cell-a"]
+        assert remaining[0]["error"] == "second"
+        # Pruning everything removes the file.
+        assert ledger.prune({"cell-a"}) == 1
+        assert not ledger.path.exists()
+        assert ledger.prune({"cell-a"}) == 0
+
+    def test_fold_from_aggregates_shard_ledgers(self, tmp_path):
+        parent = FailureLedger(tmp_path / "failures.jsonl")
+        shard = FailureLedger(tmp_path / "shard" / "failures.jsonl")
+        shard.record("cell-a", attempts=3, error="boom")
+        assert parent.fold_from(shard) == 1
+        assert parent.fold_from(tmp_path / "missing.jsonl") == 0
+        assert [e["cell"] for e in parent.entries()] == ["cell-a"]
+
+
+class TestFaultSpecParsing:
+    def test_clause_forms(self):
+        rule = _parse_clause("crash:abc*")
+        assert rule == FaultRule(action="crash", selector="abc*")
+        rule = _parse_clause("hang(2.5):*@0")
+        assert rule.action == "hang"
+        assert rule.param == 2.5
+        assert rule.max_attempt == 0
+        rule = _parse_clause("raise:%3=1@2")
+        assert rule.selector == "%3=1"
+        assert rule.max_attempt == 2
+
+    @pytest.mark.parametrize(
+        "clause",
+        [
+            "explode:*",          # unknown action
+            "crash",              # no selector
+            "crash:*@-1",         # negative attempt bound
+            "raise:%3=x",         # malformed hash selector
+            "raise:%0=0",         # zero modulus
+        ],
+    )
+    def test_invalid_clauses_rejected(self, clause):
+        with pytest.raises(ValueError):
+            FaultPlane(clause)
+
+    def test_selectors(self):
+        assert FaultRule("raise", "*").matches("anything")
+        assert FaultRule("raise", "ab*").matches("abcd")
+        assert not FaultRule("raise", "ab*").matches("ba")
+        assert FaultRule("raise", "exact").matches("exact")
+        assert not FaultRule("raise", "exact").matches("exact2")
+        # %M=R partitions all keys: exactly one residue matches.
+        hits = [
+            r for r in range(3) if FaultRule("raise", f"%3={r}").matches("k")
+        ]
+        assert len(hits) == 1
+
+    def test_armed_window(self):
+        assert FaultRule("raise", "*", max_attempt=1).armed(1)
+        assert not FaultRule("raise", "*", max_attempt=1).armed(2)
+        assert FaultRule("raise", "*", max_attempt=0).armed(99)
+
+    def test_fire_raises_within_window(self):
+        plane = FaultPlane("raise:cell@1")
+        with pytest.raises(InjectedFault):
+            plane.fire("test", "cell", 1)
+        plane.fire("test", "cell", 2)  # retry succeeds
+        plane.fire("test", "other", 1)  # unmatched cell untouched
+
+    def test_torn_tail_counts_fires(self, tmp_path):
+        plane = FaultPlane("torn-tail:cell@2")
+        path = tmp_path / "cell.jsonl"
+        path.write_text('{"kind":"done"}\n')
+        assert plane.maybe_tear(path, "cell")
+        assert plane.maybe_tear(path, "cell")
+        assert not plane.maybe_tear(path, "cell")  # budget of 2 spent
+        assert path.read_text().endswith(TORN_JUNK * 2)
+        assert not plane.maybe_tear(path, "other")
+
+    def test_active_plane_memoised_on_value(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert active_plane() is None
+        monkeypatch.setenv("REPRO_FAULTS", "raise:*@1")
+        plane = active_plane()
+        assert plane is not None and plane is active_plane()
+        monkeypatch.setenv("REPRO_FAULTS", "raise:*@2")
+        assert active_plane() is not plane
+
+
+class TestHealCell:
+    @pytest.fixture()
+    def one_cell(self, tmp_path):
+        spec = CampaignSpec(
+            name="heal", densities=(100,), n_seeds=1, n_networks=1, n_nodes=8
+        )
+        store = ResultStore(tmp_path / "store")
+        from repro.campaigns import CampaignExecutor
+
+        CampaignExecutor(spec, store, serial=True).run()
+        (cell,) = spec.cells()
+        return store, cell
+
+    def test_heals_torn_tail_after_done_byte_identically(self, one_cell):
+        store, cell = one_cell
+        path = store.cell_path(cell)
+        clean = path.read_bytes()
+        with path.open("a") as fh:
+            fh.write(TORN_JUNK)
+        assert not store.is_complete(cell)
+        assert store.heal_cell(cell)
+        assert store.is_complete(cell)
+        assert path.read_bytes() == clean
+
+    def test_leaves_clean_and_unrecoverable_files_alone(self, one_cell):
+        store, cell = one_cell
+        path = store.cell_path(cell)
+        assert not store.heal_cell(cell)  # clean: nothing to do
+        # Damage before the done marker: genuinely incomplete, no heal.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + TORN_JUNK)
+        assert not store.heal_cell(cell)
+        assert not store.is_complete(cell)
+        store.delete_cell(cell)
+        assert not store.heal_cell(cell)  # missing file
+
+
+class TestHeartbeats:
+    def test_recorder_heartbeat_none_interval_is_noop(self):
+        with recorder_heartbeat("cell", None, recorder=None):
+            pass  # must not touch the recorder at all
+
+    def test_recorder_heartbeat_emits_events(self):
+        events = []
+
+        class _Rec:
+            def event(self, name, **attrs):
+                events.append((name, attrs))
+
+        with recorder_heartbeat("cell", 0.01, _Rec()):
+            time.sleep(0.05)
+        assert events  # immediate first beat at minimum
+        assert all(e == ("cell.heartbeat", {"cell": "cell"}) for e in events)
+
+    def test_maybe_heartbeat_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HEARTBEAT_DIR", raising=False)
+        with maybe_heartbeat("cell"):
+            pass
+
+    def test_worker_sink_and_monitor_roundtrip(self, tmp_path, monkeypatch):
+        monitor = HeartbeatMonitor(tmp_path)
+        with heartbeat_env(tmp_path, 0.01):
+            with maybe_heartbeat("cell-a"):
+                time.sleep(0.03)
+        beats = monitor.poll()
+        assert "cell-a" in beats
+        # Incremental: a second poll with no new lines sees nothing.
+        assert monitor.poll() == {}
+        # Folding lands the beats in the telemetry stream.
+        telemetry = tmp_path / "telemetry.jsonl"
+        assert monitor.fold_into(telemetry) >= 1
+        assert '"cell.heartbeat"' in telemetry.read_text()
+
+    def test_monitor_carries_partial_lines(self, tmp_path):
+        monitor = HeartbeatMonitor(tmp_path)
+        path = tmp_path / "heartbeat-1234.jsonl"
+        line = json.dumps(
+            {
+                "v": 1, "kind": "event", "name": "cell.heartbeat",
+                "t": 5.0, "attrs": {"cell": "cell-a", "pid": 1234},
+            }
+        )
+        path.write_text(line[: len(line) // 2])  # worker mid-append
+        assert monitor.poll() == {}
+        with path.open("a") as fh:
+            fh.write(line[len(line) // 2 :] + "\n")
+        assert monitor.poll() == {"cell-a": 5.0}

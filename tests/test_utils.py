@@ -130,3 +130,37 @@ class TestValidation:
         assert check_probability(1.0, "p") == 1.0
         with pytest.raises(ValueError):
             check_probability(1.1, "p")
+
+
+class TestEnsureLineBoundary:
+    def test_torn_tail_is_terminated_once(self, tmp_path):
+        from repro.utils import ensure_line_boundary
+
+        path = tmp_path / "log.jsonl"
+        assert not ensure_line_boundary(path)  # missing: nothing to do
+        path.write_text("")
+        assert not ensure_line_boundary(path)  # empty: nothing to do
+        path.write_text('{"a":1}\n{"torn')
+        assert ensure_line_boundary(path)
+        assert path.read_text() == '{"a":1}\n{"torn\n'
+        assert not ensure_line_boundary(path)  # idempotent
+
+    def test_appends_after_repair_stay_parseable(self, tmp_path):
+        """The scenario the guard exists for: a crash mid-append must not
+        eat the NEXT writer's first record."""
+        import json
+
+        from repro.utils import ensure_line_boundary
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"a":1}\n{"torn')
+        ensure_line_boundary(path)
+        with path.open("a") as fh:
+            fh.write('{"b":2}\n')
+        parsed = []
+        for line in path.read_text().splitlines():
+            try:
+                parsed.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+        assert parsed == [{"a": 1}, {"b": 2}]
