@@ -1,11 +1,59 @@
-"""Setuptools shim.
+"""Setuptools entry point, including the optional compiled event core.
 
-The canonical metadata lives in ``pyproject.toml``.  This file exists so
-the package can be installed in environments without the ``wheel``
-package (PEP 660 editable installs need it): ``python setup.py develop``
-keeps working with plain setuptools.
+``python setup.py build_ext --inplace`` builds ``repro.manet._evcore``
+(the compiled event core of DESIGN.md §14) next to its C source under
+``src/``.  The extension is strictly optional: every code path falls
+back to the pure-Python reference implementation when it is missing, so
+a failed build is reported as a warning, not an error, unless
+``REPRO_REQUIRE_COMPILED=1`` asks for a hard failure (the CI
+``tier2-compiled`` job sets it; hosts without a toolchain simply skip
+the build and stay on the fallback).
 """
 
-from setuptools import setup
+import os
+import sys
 
-setup()
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class OptionalBuildExt(build_ext):
+    """Build the event core if we can; degrade to pure Python if not."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # no toolchain / headers: fall back
+            self._fail(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:
+            self._fail(exc)
+
+    def _fail(self, exc):
+        if os.environ.get("REPRO_REQUIRE_COMPILED") == "1":
+            raise
+        print(
+            f"warning: building repro.manet._evcore failed ({exc}); "
+            "the pure-Python event core will be used "
+            "(set REPRO_REQUIRE_COMPILED=1 to make this fatal)",
+            file=sys.stderr,
+        )
+
+
+EVCORE = Extension(
+    "repro.manet._evcore",
+    sources=["src/repro/manet/_evcore.c"],
+    # -ffp-contract=off: the bit-identity guarantee (DESIGN.md §14)
+    # forbids FMA contraction of the a*b+c patterns in the path-loss
+    # and mobility arithmetic.  Never add -ffast-math.
+    extra_compile_args=["-O2", "-ffp-contract=off"],
+)
+
+setup(
+    package_dir={"": "src"},
+    ext_modules=[EVCORE],
+    cmdclass={"build_ext": OptionalBuildExt},
+)

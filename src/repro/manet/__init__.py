@@ -26,10 +26,18 @@ configuration the way the paper does with ns3:
   same network skip the whole beacon cost;
 * :mod:`repro.manet.shared` — the cross-process form of that cache:
   one shared-memory precompute per scenario, mapped read-only by every
-  pool worker (DESIGN.md §9).
+  pool worker (DESIGN.md §9);
+* :mod:`repro.manet.compiled` — dispatch for the optional compiled
+  event core (``repro.manet._evcore``, built by ``setup.py
+  build_ext``): bit-identical to the pure path, selected by
+  ``REPRO_COMPILED``, falling back automatically (DESIGN.md §14).
 """
 
 from repro.manet.aedb import AEDBParams
+from repro.manet.compiled import (
+    compiled_core_available,
+    compiled_core_reason,
+)
 from repro.manet.config import (
     MobilityConfig,
     RadioConfig,
@@ -57,9 +65,13 @@ from repro.manet.shared import (
     set_shared_runtimes,
     shared_runtimes_enabled,
 )
+from repro.manet.events import make_event_queue
 from repro.manet.simulator import BroadcastSimulator, simulate_broadcast
 
 __all__ = [
+    "compiled_core_available",
+    "compiled_core_reason",
+    "make_event_queue",
     "AEDBParams",
     "RadioConfig",
     "MobilityConfig",

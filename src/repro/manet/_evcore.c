@@ -1,0 +1,1382 @@
+/* Compiled event core for the AEDB broadcast simulator (DESIGN.md §14).
+ *
+ * Two layers, both pinned bit-identical to the pure-Python reference:
+ *
+ * 1. ``EventQueue`` / ``EventHandle`` — drop-in replacements for
+ *    ``repro.manet.events`` with the same semantics, messages and
+ *    tie-breaking (a (time, counter) min-heap; cancellation via
+ *    tombstones; the unconditional horizon clock advance of PR 5).
+ *
+ * 2. ``run_window`` — the whole broadcast window of one
+ *    ``BroadcastSimulator`` run as a single C event loop: window beacon
+ *    snapshot swaps, frame transmission/resolution with SINR capture,
+ *    and the AEDB decision kernel, flattened into typed arrays.
+ *
+ * Bit-identity strategy (probed on this host, see DESIGN.md §14):
+ * every IEEE-exact operation (+ - * / sqrt fmod fabs comparisons) runs
+ * natively in C, compiled with ``-ffp-contract=off`` so no FMA
+ * contraction can change results; the two transcendental steps the
+ * reference evaluates through numpy ufuncs (``np.log10`` for path loss,
+ * ``np.power(10, ·)`` for dBm→mW) are *bridged back into numpy itself*
+ * — the kernel fills a scratch ndarray and calls the very ufunc objects
+ * the pure path calls.  Both ufuncs are position-independent (same
+ * scalar value → same bits at any offset/length/shape), so per-row
+ * bridging reproduces the reference's full-matrix calls exactly.
+ *
+ * No numpy C API is used: arrays come in through the buffer protocol,
+ * which keeps the extension buildable with nothing but a C compiler.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <math.h>
+#include <string.h>
+#include <stdlib.h>
+
+/* ------------------------------------------------------------------ */
+/* EventHandle                                                        */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    char cancelled;
+} EvHandle;
+
+static PyObject *
+EvHandle_cancel(EvHandle *self, PyObject *Py_UNUSED(ignored))
+{
+    self->cancelled = 1;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef EvHandle_methods[] = {
+    {"cancel", (PyCFunction)EvHandle_cancel, METH_NOARGS,
+     "Prevent the event from firing (no-op if already fired)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMemberDef EvHandle_members[] = {
+    {"cancelled", T_BOOL, offsetof(EvHandle, cancelled), 0,
+     "True once cancel() has been called."},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyObject *
+EvHandle_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    EvHandle *self = (EvHandle *)type->tp_alloc(type, 0);
+    if (self != NULL)
+        self->cancelled = 0;
+    return (PyObject *)self;
+}
+
+static PyTypeObject EvHandle_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.manet._evcore.EventHandle",
+    .tp_basicsize = sizeof(EvHandle),
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "Opaque handle returned by EventQueue.schedule; supports "
+              "cancellation.",
+    .tp_new = EvHandle_new,
+    .tp_methods = EvHandle_methods,
+    .tp_members = EvHandle_members,
+};
+
+/* ------------------------------------------------------------------ */
+/* EventQueue                                                         */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    double t;
+    long long seq;
+    PyObject *handle;  /* owned EvHandle*, or NULL for post() events */
+    PyObject *cb;      /* owned callable */
+} QEntry;
+
+typedef struct {
+    PyObject_HEAD
+    QEntry *heap;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+    long long counter;
+    double now;
+    long long fired;
+} EvQueue;
+
+static inline int
+qentry_lt(const QEntry *a, const QEntry *b)
+{
+    if (a->t < b->t) return 1;
+    if (a->t > b->t) return 0;
+    return a->seq < b->seq;
+}
+
+static int
+evq_grow(EvQueue *self)
+{
+    Py_ssize_t cap = self->cap ? self->cap * 2 : 64;
+    QEntry *heap = (QEntry *)PyMem_Realloc(self->heap, cap * sizeof(QEntry));
+    if (heap == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->heap = heap;
+    self->cap = cap;
+    return 0;
+}
+
+/* Push an entry (steals the handle/cb references on success only). */
+static int
+evq_push(EvQueue *self, double t, PyObject *handle, PyObject *cb)
+{
+    if (self->len >= self->cap && evq_grow(self) < 0)
+        return -1;
+    QEntry *heap = self->heap;
+    Py_ssize_t i = self->len++;
+    QEntry item = {t, self->counter++, handle, cb};
+    while (i > 0) {
+        Py_ssize_t parent = (i - 1) >> 1;
+        if (!qentry_lt(&item, &heap[parent]))
+            break;
+        heap[i] = heap[parent];
+        i = parent;
+    }
+    heap[i] = item;
+    return 0;
+}
+
+static QEntry
+evq_pop(EvQueue *self)
+{
+    QEntry *heap = self->heap;
+    QEntry top = heap[0];
+    QEntry last = heap[--self->len];
+    Py_ssize_t n = self->len, i = 0;
+    while (1) {
+        Py_ssize_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && qentry_lt(&heap[child + 1], &heap[child]))
+            child += 1;
+        if (!qentry_lt(&heap[child], &last))
+            break;
+        heap[i] = heap[child];
+        i = child;
+    }
+    if (n > 0)
+        heap[i] = last;
+    return top;
+}
+
+static PyObject *
+EvQueue_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    EvQueue *self = (EvQueue *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->heap = NULL;
+    self->len = self->cap = 0;
+    self->counter = 0;
+    self->now = 0.0;
+    self->fired = 0;
+    return (PyObject *)self;
+}
+
+static int
+EvQueue_traverse(EvQueue *self, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < self->len; i++) {
+        Py_VISIT(self->heap[i].handle);
+        Py_VISIT(self->heap[i].cb);
+    }
+    return 0;
+}
+
+static int
+EvQueue_clear(EvQueue *self)
+{
+    Py_ssize_t n = self->len;
+    self->len = 0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        Py_CLEAR(self->heap[i].handle);
+        Py_CLEAR(self->heap[i].cb);
+    }
+    return 0;
+}
+
+static void
+EvQueue_dealloc(EvQueue *self)
+{
+    PyObject_GC_UnTrack(self);
+    EvQueue_clear(self);
+    PyMem_Free(self->heap);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+evq_check_future(EvQueue *self, double time_s)
+{
+    if (time_s < self->now) {
+        PyObject *t_obj = PyFloat_FromDouble(time_s);
+        PyObject *now_obj = PyFloat_FromDouble(self->now);
+        if (t_obj != NULL && now_obj != NULL)
+            PyErr_Format(PyExc_ValueError,
+                         "cannot schedule at %R (current time %R)",
+                         t_obj, now_obj);
+        Py_XDECREF(t_obj);
+        Py_XDECREF(now_obj);
+        return -1;
+    }
+    return 0;
+}
+
+static PyObject *
+EvQueue_schedule(EvQueue *self, PyObject *args)
+{
+    double time_s;
+    PyObject *callback;
+    if (!PyArg_ParseTuple(args, "dO:schedule", &time_s, &callback))
+        return NULL;
+    if (evq_check_future(self, time_s) < 0)
+        return NULL;
+    PyObject *handle = EvHandle_new(&EvHandle_Type, NULL, NULL);
+    if (handle == NULL)
+        return NULL;
+    Py_INCREF(handle);   /* heap's reference */
+    Py_INCREF(callback);
+    if (evq_push(self, time_s, handle, callback) < 0) {
+        Py_DECREF(handle);
+        Py_DECREF(callback);
+        Py_DECREF(handle);
+        return NULL;
+    }
+    return handle;   /* caller's reference */
+}
+
+static PyObject *
+EvQueue_post(EvQueue *self, PyObject *args)
+{
+    double time_s;
+    PyObject *callback;
+    if (!PyArg_ParseTuple(args, "dO:post", &time_s, &callback))
+        return NULL;
+    if (evq_check_future(self, time_s) < 0)
+        return NULL;
+    Py_INCREF(callback);
+    if (evq_push(self, time_s, NULL, callback) < 0) {
+        Py_DECREF(callback);
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+EvQueue_run_until(EvQueue *self, PyObject *args)
+{
+    double horizon;
+    if (!PyArg_ParseTuple(args, "d:run_until", &horizon))
+        return NULL;
+    long long fired_here = 0;
+    while (self->len > 0 && self->heap[0].t <= horizon) {
+        QEntry e = evq_pop(self);
+        if (e.handle != NULL && ((EvHandle *)e.handle)->cancelled) {
+            Py_DECREF(e.handle);
+            Py_DECREF(e.cb);
+            continue;
+        }
+        self->now = e.t;
+        PyObject *res = PyObject_CallFunction(e.cb, "d", e.t);
+        Py_XDECREF(e.handle);
+        Py_DECREF(e.cb);
+        if (res == NULL)
+            return NULL;   /* exception propagates before fired++ */
+        Py_DECREF(res);
+        self->fired += 1;
+        fired_here += 1;
+    }
+    /* Unconditional clock advance (the PR 5 fix): the caller has
+     * observed time ``horizon``, so later schedules before it must be
+     * rejected even when the heap still holds events beyond it. */
+    if (horizon > self->now)
+        self->now = horizon;
+    return PyLong_FromLongLong(fired_here);
+}
+
+static PyObject *
+EvQueue_run_all(EvQueue *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"hard_limit", NULL};
+    long long hard_limit = 10000000;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|L:run_all", kwlist,
+                                     &hard_limit))
+        return NULL;
+    long long fired_here = 0;
+    while (self->len > 0) {
+        if (fired_here >= hard_limit) {
+            PyErr_SetString(PyExc_RuntimeError,
+                            "event limit exceeded; runaway schedule?");
+            return NULL;
+        }
+        QEntry e = evq_pop(self);
+        if (e.handle != NULL && ((EvHandle *)e.handle)->cancelled) {
+            Py_DECREF(e.handle);
+            Py_DECREF(e.cb);
+            continue;
+        }
+        self->now = e.t;
+        PyObject *res = PyObject_CallFunction(e.cb, "d", e.t);
+        Py_XDECREF(e.handle);
+        Py_DECREF(e.cb);
+        if (res == NULL)
+            return NULL;
+        Py_DECREF(res);
+        self->fired += 1;
+        fired_here += 1;
+    }
+    return PyLong_FromLongLong(fired_here);
+}
+
+static PyObject *
+EvQueue_get_now(EvQueue *self, void *closure)
+{
+    return PyFloat_FromDouble(self->now);
+}
+
+static PyObject *
+EvQueue_get_pending(EvQueue *self, void *closure)
+{
+    Py_ssize_t pending = 0;
+    for (Py_ssize_t i = 0; i < self->len; i++) {
+        PyObject *h = self->heap[i].handle;
+        if (h == NULL || !((EvHandle *)h)->cancelled)
+            pending += 1;
+    }
+    return PyLong_FromSsize_t(pending);
+}
+
+static PyObject *
+EvQueue_get_fired(EvQueue *self, void *closure)
+{
+    return PyLong_FromLongLong(self->fired);
+}
+
+/* The clock and the fired counter are settable so the compiled-kernel
+ * writeback (repro.manet.compiled) can restore the exact end-of-run
+ * queue state the pure path would leave behind. */
+static int
+EvQueue_set_now(EvQueue *self, PyObject *value, void *closure)
+{
+    if (value == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "cannot delete now");
+        return -1;
+    }
+    double v = PyFloat_AsDouble(value);
+    if (v == -1.0 && PyErr_Occurred())
+        return -1;
+    self->now = v;
+    return 0;
+}
+
+static int
+EvQueue_set_fired(EvQueue *self, PyObject *value, void *closure)
+{
+    if (value == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "cannot delete fired");
+        return -1;
+    }
+    long long v = PyLong_AsLongLong(value);
+    if (v == -1 && PyErr_Occurred())
+        return -1;
+    self->fired = v;
+    return 0;
+}
+
+static PyGetSetDef EvQueue_getset[] = {
+    {"now", (getter)EvQueue_get_now, (setter)EvQueue_set_now,
+     "Timestamp of the most recently fired event (0 before any).", NULL},
+    {"pending", (getter)EvQueue_get_pending, NULL,
+     "Number of not-yet-fired, not-cancelled events.", NULL},
+    {"fired", (getter)EvQueue_get_fired, (setter)EvQueue_set_fired,
+     "Total number of events executed so far.", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMethodDef EvQueue_methods[] = {
+    {"schedule", (PyCFunction)EvQueue_schedule, METH_VARARGS,
+     "Enqueue ``callback`` to fire at ``time_s``; returns a handle."},
+    {"post", (PyCFunction)EvQueue_post, METH_VARARGS,
+     "Fire-and-forget schedule: no cancellation handle."},
+    {"run_until", (PyCFunction)EvQueue_run_until, METH_VARARGS,
+     "Fire events with timestamp <= horizon; return how many fired."},
+    {"run_all", (PyCFunction)EvQueue_run_all,
+     METH_VARARGS | METH_KEYWORDS,
+     "Fire every pending event (guarded against runaway schedules)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject EvQueue_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.manet._evcore.EventQueue",
+    .tp_basicsize = sizeof(EvQueue),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled time-ordered callback queue (drop-in for "
+              "repro.manet.events.EventQueue).",
+    .tp_new = EvQueue_new,
+    .tp_dealloc = (destructor)EvQueue_dealloc,
+    .tp_traverse = (traverseproc)EvQueue_traverse,
+    .tp_clear = (inquiry)EvQueue_clear,
+    .tp_methods = EvQueue_methods,
+    .tp_getset = EvQueue_getset,
+};
+
+/* ------------------------------------------------------------------ */
+/* run_window kernel                                                  */
+/* ------------------------------------------------------------------ */
+
+/* fparams indices (keep in sync with repro/manet/compiled.py) */
+enum {
+    FP_WARMUP, FP_HORIZON, FP_AIRTIME, FP_DETECTION, FP_CAPTURE_LIN,
+    FP_MIN_TX, FP_MAX_TX, FP_DEFAULT_TX, FP_REF_D, FP_REF_LOSS, FP_SCALE,
+    FP_BORDER, FP_DELAY_LO, FP_DELAY_HI, FP_NBR_THRESHOLD, FP_MARGIN,
+    FP_REQUIRED, FP_MAC_JITTER, FP_EXPIRY, FP_EPOCH_S, FP_SIDE,
+    FP_COUNT
+};
+
+/* iparams indices */
+enum {
+    IP_N, IP_SOURCE, IP_WINDOW, IP_RECORD, IP_MOB_MODE, IP_N_EPOCHS,
+    IP_FOLD_ONE, IP_RNG_OFFSET,
+    IP_COUNT
+};
+
+/* counts_out indices */
+enum {
+    CN_FIRED, CN_FRAMES, CN_RESOLVED, CN_DRAWS, CN_BATCH_VECTOR,
+    CN_BATCH_SCALAR, CN_DECISIONS,
+    CN_COUNT
+};
+
+/* protocol state codes (mirror repro.manet.aedb) */
+enum { ST_IDLE = 0, ST_WAITING = 1, ST_DROPPED = 2, ST_FORWARDED = 3 };
+
+/* decision kinds (formatted by repro/manet/compiled.py) */
+enum { DK_SOURCE = 0, DK_DROP_FIRST = 1, DK_ARM = 2, DK_DROP_TIMER = 3,
+       DK_FORWARD = 4 };
+
+/* event kinds */
+enum { EV_BEACON = 0, EV_TRANSMIT = 1, EV_RESOLVE = 2, EV_TIMER = 3 };
+
+typedef struct {
+    double t;
+    long long seq;
+    int kind;
+    long a;      /* beacon tick / node / frame index */
+    double b;    /* TRANSMIT power */
+} KEvent;
+
+typedef struct {
+    /* scalars */
+    long n, source, W, n_epochs;
+    int record, mob_mode, fold_one;
+    double warmup, horizon, airtime, detection, capture_lin, min_tx,
+        max_tx, default_tx, ref_d, ref_loss, scale, border, delay_lo,
+        delay_hi, nbr_threshold, margin, required, mac_jitter, expiry,
+        epoch_s, side;
+    /* rng */
+    const double *doubles;
+    long n_doubles, draw;
+    /* tables (current snapshot pointers; swapped at beacon events) */
+    const double *rx_cur, *seen_cur;
+    const double **win_rx, **win_seen;
+    /* mobility */
+    const double *static_pos;          /* (n, 2) */
+    const double *walk_starts;         /* (E, n, 2) */
+    const double *walk_vel;            /* (E, n, 2) */
+    const unsigned char *walk_neg;     /* (E,) */
+    double *pos;                       /* (n, 2) scratch */
+    /* ufunc bridge */
+    PyObject *log10_obj, *power_obj, *ten_obj;
+    PyObject *scratch_a_obj, *scratch_b_obj;
+    double *sa, *sb;                   /* scratch buffers, length n */
+    /* protocol state (output arrays, written in place) */
+    double *first_rx, *strongest, *timer_deadline;
+    signed char *state;
+    unsigned char *heard;              /* (n, n) */
+    /* frames */
+    double *fr_sender, *fr_power, *fr_start, *fr_flag;  /* frame_out cols */
+    double *fr_end;                    /* scratch */
+    long n_frames;
+    long *active, *recent, *overlap;
+    long n_active, n_recent;
+    /* per-resolve scratch */
+    double *rx;                        /* delivery rx vector */
+    unsigned char *elig;
+    long *det;
+    double *interf;
+    /* decisions */
+    double *decisions;                 /* (2n+1, 4) */
+    long n_decisions, dec_cap;
+    /* event heap */
+    KEvent *heap;
+    long heap_len, heap_cap;
+    long long seq;
+    /* counters */
+    long long fired;
+    long batch_vector, batch_scalar;
+    double energy;
+    long n_resolved;
+} Kernel;
+
+static int
+k_fail(const char *what)
+{
+    PyErr_Format(PyExc_RuntimeError, "evcore invariant violated: %s", what);
+    return -1;
+}
+
+static int
+k_push(Kernel *k, double t, int kind, long a, double b)
+{
+    if (k->heap_len >= k->heap_cap)
+        return k_fail("event heap overflow");
+    KEvent *heap = k->heap;
+    long i = k->heap_len++;
+    KEvent item = {t, k->seq++, kind, a, b};
+    while (i > 0) {
+        long parent = (i - 1) >> 1;
+        KEvent *p = &heap[parent];
+        if (!(item.t < p->t || (item.t == p->t && item.seq < p->seq)))
+            break;
+        heap[i] = heap[parent];
+        i = parent;
+    }
+    heap[i] = item;
+    return 0;
+}
+
+static KEvent
+k_pop(Kernel *k)
+{
+    KEvent *heap = k->heap;
+    KEvent top = heap[0];
+    KEvent last = heap[--k->heap_len];
+    long n = k->heap_len, i = 0;
+    while (1) {
+        long child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n &&
+            (heap[child + 1].t < heap[child].t ||
+             (heap[child + 1].t == heap[child].t &&
+              heap[child + 1].seq < heap[child].seq)))
+            child += 1;
+        if (!(heap[child].t < last.t ||
+              (heap[child].t == last.t && heap[child].seq < last.seq)))
+            break;
+        heap[i] = heap[child];
+        i = child;
+    }
+    if (n > 0)
+        heap[i] = last;
+    return top;
+}
+
+static int
+k_decision(Kernel *k, double t, long node, int kind, double value)
+{
+    if (k->n_decisions >= k->dec_cap)
+        return k_fail("decision log overflow");
+    double *row = k->decisions + 4 * k->n_decisions++;
+    row[0] = t;
+    row[1] = (double)node;
+    row[2] = (double)kind;
+    row[3] = value;
+    return 0;
+}
+
+/* np.log10(scratch_a, out=scratch_a) via the exact ufunc object the
+ * pure path calls; entries [m, n) are parked at 1.0 so the tail is
+ * warning-free.  Same helper shape for np.power(10.0, scratch_b). */
+static int
+k_log10(Kernel *k, long m)
+{
+    for (long i = m; i < k->n; i++)
+        k->sa[i] = 1.0;
+    PyObject *r = PyObject_CallFunctionObjArgs(
+        k->log10_obj, k->scratch_a_obj, k->scratch_a_obj, NULL);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+static int
+k_pow10(Kernel *k, long m)
+{
+    for (long i = m; i < k->n; i++)
+        k->sb[i] = 0.0;
+    PyObject *r = PyObject_CallFunctionObjArgs(
+        k->power_obj, k->ten_obj, k->scratch_b_obj, k->scratch_b_obj, NULL);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* Positions at ``t`` — RandomWalkMobility.positions_into, op for op
+ * (mul, add, one-period fold or floored mod, then the triangle wave). */
+static const double *
+k_positions(Kernel *k, double t)
+{
+    if (k->mob_mode == 0)
+        return k->static_pos;
+    long n2 = 2 * k->n;
+    long e = (long)(t / k->epoch_s);
+    if (e > k->n_epochs - 1)
+        e = k->n_epochs - 1;
+    double dt = t - (double)e * k->epoch_s;
+    const double *sk = k->walk_starts + (size_t)e * n2;
+    const double *vk = k->walk_vel + (size_t)e * n2;
+    double *pos = k->pos;
+    for (long i = 0; i < n2; i++) {
+        double v = vk[i] * dt;
+        pos[i] = v + sk[i];
+    }
+    double side = k->side;
+    double period = 2.0 * side;
+    if (k->fold_one && dt <= k->epoch_s) {
+        if (k->walk_neg[e]) {
+            for (long i = 0; i < n2; i++)
+                if (pos[i] < 0.0)
+                    pos[i] = pos[i] + period;
+        }
+    } else {
+        for (long i = 0; i < n2; i++) {
+            double m = fmod(pos[i], period);
+            if (m != 0.0 && ((period < 0.0) != (m < 0.0)))
+                m = m + period;
+            pos[i] = m;
+        }
+    }
+    for (long i = 0; i < n2; i++) {
+        double v = pos[i] - side;
+        v = fabs(v);
+        pos[i] = side - v;
+    }
+    return pos;
+}
+
+static int k_do_transmit(Kernel *k, long sender, double power, double t);
+
+/* AEDBProtocol._select_tx_power, scan spelling (bit-identical to both
+ * the live-index and the scan path of the reference — all three
+ * evaluate the same freshness predicate on the same floats). */
+static double
+k_select_tx_power(Kernel *k, long node, double t)
+{
+    long n = k->n;
+    const double *nrx = k->rx_cur + (size_t)node * n;
+    const double *nseen = k->seen_cur + (size_t)node * n;
+    const unsigned char *nheard = k->heard + (size_t)node * n;
+    unsigned char *live = k->elig;   /* free between resolves */
+    long in_fwd_count = 0;
+    for (long j = 0; j < n; j++) {
+        unsigned char lv =
+            ((t - nseen[j]) <= k->expiry) && (j != node);
+        live[j] = lv;
+        if (lv && nrx[j] <= k->border)
+            in_fwd_count++;
+    }
+    long target = 0;
+    if ((double)in_fwd_count > k->nbr_threshold) {
+        /* dense regime: argmax over in-forwarding-area rx (-inf fill,
+         * first occurrence on ties — strict > keeps the lowest id) */
+        double best = -INFINITY;
+        for (long j = 0; j < n; j++) {
+            double v = (live[j] && nrx[j] <= k->border) ? nrx[j]
+                                                        : -INFINITY;
+            if (v > best) {
+                best = v;
+                target = j;
+            }
+        }
+    } else {
+        /* sparse regime: furthest live neighbour not already heard
+         * from; no candidates → full power */
+        int any = 0;
+        for (long j = 0; j < n; j++) {
+            live[j] = live[j] && !nheard[j];
+            if (live[j])
+                any = 1;
+        }
+        if (!any)
+            return k->max_tx;
+        double best = INFINITY;
+        for (long j = 0; j < n; j++) {
+            double v = live[j] ? nrx[j] : INFINITY;
+            if (v < best) {
+                best = v;
+                target = j;
+            }
+        }
+    }
+    double loss = k->default_tx - nrx[target];
+    double power = k->required + loss;
+    power = power + k->margin;
+    if (power < k->min_tx)
+        power = k->min_tx;
+    if (power > k->max_tx)
+        power = k->max_tx;
+    return power;
+}
+
+/* AEDBProtocol._first_copy */
+static int
+k_first_copy(Kernel *k, long node, double rx, double t)
+{
+    k->first_rx[node] = t;
+    k->strongest[node] = rx;
+    if (rx > k->border) {
+        k->state[node] = ST_DROPPED;
+        if (k->record && k_decision(k, t, node, DK_DROP_FIRST, 0.0) < 0)
+            return -1;
+        return 0;
+    }
+    k->state[node] = ST_WAITING;
+    double delay;
+    if (k->delay_hi > k->delay_lo) {
+        if (k->draw >= k->n_doubles)
+            return k_fail("uniform stream exhausted");
+        double u = k->doubles[k->draw++];
+        delay = k->delay_lo + (k->delay_hi - k->delay_lo) * u;
+    } else {
+        delay = k->delay_lo;
+    }
+    double fire = t + delay;
+    k->timer_deadline[node] = fire;
+    if (k_push(k, fire, EV_TIMER, node, 0.0) < 0)
+        return -1;
+    if (k->record && k_decision(k, t, node, DK_ARM, delay) < 0)
+        return -1;
+    return 0;
+}
+
+/* AEDBProtocol._on_timer (timers are never cancelled on this path) */
+static int
+k_on_timer(Kernel *k, long node, double t)
+{
+    if (k->state[node] != ST_WAITING)
+        return 0;
+    if (k->strongest[node] > k->border) {
+        k->state[node] = ST_DROPPED;
+        if (k->record && k_decision(k, t, node, DK_DROP_TIMER, 0.0) < 0)
+            return -1;
+        return 0;
+    }
+    double power = k_select_tx_power(k, node, t);
+    k->state[node] = ST_FORWARDED;
+    if (k->record && k_decision(k, t, node, DK_FORWARD, power) < 0)
+        return -1;
+    double jitter = 0.0;
+    if (k->mac_jitter > 0.0) {
+        if (k->draw >= k->n_doubles)
+            return k_fail("uniform stream exhausted");
+        double u = k->doubles[k->draw++];
+        jitter = 0.0 + (k->mac_jitter - 0.0) * u;
+    }
+    /* BroadcastSimulator._transmit: now == t inside this callback */
+    double t2 = t + jitter;
+    if (t2 <= t)
+        return k_do_transmit(k, node, power, t);
+    return k_push(k, t2, EV_TRANSMIT, node, power);
+}
+
+/* RadioMedium.transmit */
+static int
+k_do_transmit(Kernel *k, long sender, double power, double t)
+{
+    if (power < k->min_tx)
+        power = k->min_tx;
+    if (power > k->max_tx)
+        power = k->max_tx;
+    if (k->n_frames >= k->n)
+        return k_fail("frame table overflow");
+    long f = k->n_frames++;
+    k->fr_sender[f] = (double)sender;
+    k->fr_power[f] = power;
+    k->fr_start[f] = t;
+    k->fr_end[f] = t + k->airtime;
+    k->active[k->n_active++] = f;
+    k->energy += power;
+    return k_push(k, k->fr_end[f], EV_RESOLVE, f, 0.0);
+}
+
+/* AEDBProtocol.on_receive_batch: one ascending pass (identical to both
+ * the scalar small-batch loop and the vectorised update — see
+ * DESIGN.md §14 for the equivalence argument). */
+static int
+k_deliver(Kernel *k, long f, double t)
+{
+    long n = k->n, count = 0;
+    for (long r = 0; r < n; r++)
+        if (k->elig[r])
+            count++;
+    if (count <= 8)
+        k->batch_scalar++;
+    else
+        k->batch_vector++;
+    long sender = (long)k->fr_sender[f];
+    for (long r = 0; r < n; r++) {
+        if (!k->elig[r])
+            continue;
+        k->heard[(size_t)r * n + sender] = 1;
+        signed char st = k->state[r];
+        if (st == ST_WAITING) {
+            if (k->rx[r] > k->strongest[r])
+                k->strongest[r] = k->rx[r];
+        } else if (st == ST_IDLE) {
+            if (k_first_copy(k, r, k->rx[r], t) < 0)
+                return -1;
+        }
+    }
+    return 0;
+}
+
+/* RadioMedium._resolve, batch mode with the inlined log-distance fast
+ * path (the only configuration the kernel accepts). */
+static int
+k_resolve(Kernel *k, long f, double t)
+{
+    long n = k->n;
+    k->n_resolved++;
+    /* active.remove(frame): first occurrence, order-preserving */
+    long idx = -1;
+    for (long i = 0; i < k->n_active; i++)
+        if (k->active[i] == f) {
+            idx = i;
+            break;
+        }
+    if (idx < 0)
+        return k_fail("resolving frame not in active list");
+    for (long i = idx; i < k->n_active - 1; i++)
+        k->active[i] = k->active[i + 1];
+    k->n_active--;
+    k->recent[k->n_recent++] = f;
+    double tcut = t - 2.0 * k->airtime;
+    if (k->fr_end[k->recent[0]] < tcut) {
+        long w = 0;
+        for (long i = 0; i < k->n_recent; i++)
+            if (k->fr_end[k->recent[i]] >= tcut)
+                k->recent[w++] = k->recent[i];
+        k->n_recent = w;
+    }
+    const double *P =
+        k_positions(k, 0.5 * (k->fr_start[f] + k->fr_end[f]));
+    if (P == NULL)
+        return -1;
+    /* overlap scan: active then recent, list order */
+    long n_ov = 0;
+    if (!(k->n_active == 0 && k->n_recent == 1)) {
+        for (long i = 0; i < k->n_active; i++) {
+            long g = k->active[i];
+            if (g != f && k->fr_start[g] < k->fr_end[f] &&
+                k->fr_start[f] < k->fr_end[g])
+                k->overlap[n_ov++] = g;
+        }
+        for (long i = 0; i < k->n_recent; i++) {
+            long g = k->recent[i];
+            if (g != f && k->fr_start[g] < k->fr_end[f] &&
+                k->fr_start[f] < k->fr_end[g])
+                k->overlap[n_ov++] = g;
+        }
+    }
+    /* rx chain (diff → dist² → sqrt → clamp → log10 → scale) */
+    long sender = (long)k->fr_sender[f];
+    double sx = P[2 * sender], sy = P[2 * sender + 1];
+    for (long j = 0; j < n; j++) {
+        double dx = P[2 * j] - sx;
+        double dy = P[2 * j + 1] - sy;
+        double xx = dx * dx;
+        double yy = dy * dy;
+        double d2 = xx + yy;
+        double d = sqrt(d2);
+        if (d < k->ref_d)
+            d = k->ref_d;
+        if (k->ref_d != 1.0)
+            d = d / k->ref_d;
+        k->sa[j] = d;
+    }
+    if (k_log10(k, n) < 0)
+        return -1;
+    double txp = k->fr_power[f];
+    for (long j = 0; j < n; j++) {
+        double loss = k->sa[j] * k->scale;
+        loss = loss + k->ref_loss;
+        double rxj = txp - loss;
+        k->rx[j] = rxj;
+        k->elig[j] = rxj >= k->detection;
+    }
+    if (n_ov > 0) {
+        k->elig[sender] = 0;
+        for (long i = 0; i < n_ov; i++)
+            k->elig[(long)k->fr_sender[k->overlap[i]]] = 0;
+        long ndet = 0;
+        for (long j = 0; j < n; j++) {
+            if (k->elig[j])
+                k->det[ndet++] = j;
+            k->elig[j] = 0;
+        }
+        if (ndet > 0) {
+            for (long m = 0; m < ndet; m++)
+                k->interf[m] = 0.0;
+            for (long i = 0; i < n_ov; i++) {
+                long g = k->overlap[i];
+                long os = (long)k->fr_sender[g];
+                double ox = P[2 * os], oy = P[2 * os + 1];
+                double op = k->fr_power[g];
+                for (long m = 0; m < ndet; m++) {
+                    long j = k->det[m];
+                    double dx = P[2 * j] - ox;
+                    double dy = P[2 * j + 1] - oy;
+                    double xx = dx * dx;
+                    double yy = dy * dy;
+                    double d2 = xx + yy;
+                    double d = sqrt(d2);
+                    if (d < k->ref_d)
+                        d = k->ref_d;
+                    d = d / k->ref_d;   /* generic chain always divides */
+                    k->sa[m] = d;
+                }
+                if (k_log10(k, ndet) < 0)
+                    return -1;
+                for (long m = 0; m < ndet; m++) {
+                    double l = k->scale * k->sa[m];
+                    double loss = k->ref_loss + l;
+                    double rxi = op - loss;
+                    k->sb[m] = rxi / 10.0;
+                }
+                if (k_pow10(k, ndet) < 0)
+                    return -1;
+                for (long m = 0; m < ndet; m++)
+                    k->interf[m] = k->interf[m] + k->sb[m];
+            }
+            for (long m = 0; m < ndet; m++)
+                k->sb[m] = k->rx[k->det[m]] / 10.0;
+            if (k_pow10(k, ndet) < 0)
+                return -1;
+            for (long m = 0; m < ndet; m++) {
+                long j = k->det[m];
+                k->elig[j] = (k->interf[m] > 0.0)
+                                 ? (k->sb[m] >= k->capture_lin * k->interf[m])
+                                 : 1;
+            }
+        }
+    } else {
+        k->elig[sender] = 0;
+    }
+    return k_deliver(k, f, t);
+}
+
+/* Acquire a buffer; itemsize/min-length checked by the caller wrapper. */
+static int
+get_buf(PyObject *obj, Py_buffer *view, int writable, Py_ssize_t min_items,
+        Py_ssize_t itemsize, const char *name)
+{
+    int flags = PyBUF_C_CONTIGUOUS | PyBUF_FORMAT;
+    if (writable)
+        flags |= PyBUF_WRITABLE;
+    if (PyObject_GetBuffer(obj, view, flags) < 0)
+        return -1;
+    if (view->itemsize != itemsize ||
+        view->len < min_items * itemsize) {
+        PyErr_Format(PyExc_ValueError,
+                     "evcore: bad buffer for %s (itemsize %zd, len %zd; "
+                     "need itemsize %zd x %zd items)",
+                     name, view->itemsize, view->len, itemsize, min_items);
+        PyBuffer_Release(view);
+        return -1;
+    }
+    return 0;
+}
+
+static PyObject *
+evcore_run_window(PyObject *self, PyObject *args)
+{
+    PyObject *fparams_o, *iparams_o, *doubles_o, *start_rx_o, *start_seen_o,
+        *win_times_o, *win_rx_o, *win_seen_o, *static_pos_o, *starts_o,
+        *vel_o, *neg_o, *scratch_a_o, *scratch_b_o, *log10_o, *power_o,
+        *first_rx_o, *strongest_o, *state_o, *heard_o, *frame_o, *timer_o,
+        *decisions_o, *counts_o;
+    if (!PyArg_ParseTuple(
+            args, "OOOOOOOOOOOOOOOOOOOOOOOO:run_window",
+            &fparams_o, &iparams_o, &doubles_o, &start_rx_o, &start_seen_o,
+            &win_times_o, &win_rx_o, &win_seen_o, &static_pos_o, &starts_o,
+            &vel_o, &neg_o, &scratch_a_o, &scratch_b_o, &log10_o, &power_o,
+            &first_rx_o, &strongest_o, &state_o, &heard_o, &frame_o,
+            &timer_o, &decisions_o, &counts_o))
+        return NULL;
+
+    Kernel k;
+    memset(&k, 0, sizeof(k));
+    PyObject *result = NULL;
+
+    /* fixed buffers (indices into bufs[]; released in the epilogue) */
+    enum { B_FPARAMS, B_IPARAMS, B_DOUBLES, B_START_RX, B_START_SEEN,
+           B_WIN_TIMES, B_STATIC, B_STARTS, B_VEL, B_NEG, B_SA, B_SB,
+           B_FIRST_RX, B_STRONGEST, B_STATE, B_HEARD, B_FRAME, B_TIMER,
+           B_DECISIONS, B_COUNTS, B_FIXED };
+    Py_buffer bufs[B_FIXED];
+    char held[B_FIXED];
+    memset(held, 0, sizeof(held));
+    Py_buffer *wbufs = NULL;   /* 2W window-snapshot buffers */
+    long n_wbufs = 0;
+
+#define GETBUF(slot, obj, writable, min_items, itemsize, name)            \
+    do {                                                                  \
+        if (get_buf((obj), &bufs[slot], (writable), (min_items),          \
+                    (itemsize), (name)) < 0)                              \
+            goto done;                                                    \
+        held[slot] = 1;                                                   \
+    } while (0)
+
+    GETBUF(B_FPARAMS, fparams_o, 0, FP_COUNT, 8, "fparams");
+    GETBUF(B_IPARAMS, iparams_o, 0, IP_COUNT, 8, "iparams");
+    const double *fp = (const double *)bufs[B_FPARAMS].buf;
+    const long long *ip = (const long long *)bufs[B_IPARAMS].buf;
+
+    long n = (long)ip[IP_N];
+    long W = (long)ip[IP_WINDOW];
+    k.n = n;
+    k.source = (long)ip[IP_SOURCE];
+    k.W = W;
+    k.record = (int)ip[IP_RECORD];
+    k.mob_mode = (int)ip[IP_MOB_MODE];
+    k.n_epochs = (long)ip[IP_N_EPOCHS];
+    k.fold_one = (int)ip[IP_FOLD_ONE];
+    k.warmup = fp[FP_WARMUP];
+    k.horizon = fp[FP_HORIZON];
+    k.airtime = fp[FP_AIRTIME];
+    k.detection = fp[FP_DETECTION];
+    k.capture_lin = fp[FP_CAPTURE_LIN];
+    k.min_tx = fp[FP_MIN_TX];
+    k.max_tx = fp[FP_MAX_TX];
+    k.default_tx = fp[FP_DEFAULT_TX];
+    k.ref_d = fp[FP_REF_D];
+    k.ref_loss = fp[FP_REF_LOSS];
+    k.scale = fp[FP_SCALE];
+    k.border = fp[FP_BORDER];
+    k.delay_lo = fp[FP_DELAY_LO];
+    k.delay_hi = fp[FP_DELAY_HI];
+    k.nbr_threshold = fp[FP_NBR_THRESHOLD];
+    k.margin = fp[FP_MARGIN];
+    k.required = fp[FP_REQUIRED];
+    k.mac_jitter = fp[FP_MAC_JITTER];
+    k.expiry = fp[FP_EXPIRY];
+    k.epoch_s = fp[FP_EPOCH_S];
+    k.side = fp[FP_SIDE];
+
+    if (n <= 0 || W <= 0 || k.source < 0 || k.source >= n) {
+        PyErr_SetString(PyExc_ValueError, "evcore: bad n/W/source");
+        goto done;
+    }
+
+    GETBUF(B_DOUBLES, doubles_o, 0, 0, 8, "doubles");
+    k.doubles = (const double *)bufs[B_DOUBLES].buf;
+    k.n_doubles = (long)(bufs[B_DOUBLES].len / 8);
+    k.draw = (long)ip[IP_RNG_OFFSET];
+
+    GETBUF(B_START_RX, start_rx_o, 0, n * n, 8, "start_rx");
+    GETBUF(B_START_SEEN, start_seen_o, 0, n * n, 8, "start_seen");
+    k.rx_cur = (const double *)bufs[B_START_RX].buf;
+    k.seen_cur = (const double *)bufs[B_START_SEEN].buf;
+
+    GETBUF(B_WIN_TIMES, win_times_o, 0, W, 8, "window_times");
+    const double *win_times = (const double *)bufs[B_WIN_TIMES].buf;
+
+    if (!PyTuple_Check(win_rx_o) || !PyTuple_Check(win_seen_o) ||
+        PyTuple_GET_SIZE(win_rx_o) != W ||
+        PyTuple_GET_SIZE(win_seen_o) != W) {
+        PyErr_SetString(PyExc_ValueError,
+                        "evcore: window snapshots must be W-tuples");
+        goto done;
+    }
+    wbufs = (Py_buffer *)PyMem_Calloc(2 * (size_t)W, sizeof(Py_buffer));
+    k.win_rx = (const double **)PyMem_Malloc(W * sizeof(double *));
+    k.win_seen = (const double **)PyMem_Malloc(W * sizeof(double *));
+    if (wbufs == NULL || k.win_rx == NULL || k.win_seen == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    for (long w = 0; w < W; w++) {
+        if (get_buf(PyTuple_GET_ITEM(win_rx_o, w), &wbufs[n_wbufs], 0,
+                    n * n, 8, "window_rx") < 0)
+            goto done;
+        k.win_rx[w] = (const double *)wbufs[n_wbufs++].buf;
+        if (get_buf(PyTuple_GET_ITEM(win_seen_o, w), &wbufs[n_wbufs], 0,
+                    n * n, 8, "window_seen") < 0)
+            goto done;
+        k.win_seen[w] = (const double *)wbufs[n_wbufs++].buf;
+    }
+
+    if (k.mob_mode == 0) {
+        GETBUF(B_STATIC, static_pos_o, 0, 2 * n, 8, "static_pos");
+        k.static_pos = (const double *)bufs[B_STATIC].buf;
+    } else {
+        GETBUF(B_STARTS, starts_o, 0, k.n_epochs * 2 * n, 8, "walk_starts");
+        GETBUF(B_VEL, vel_o, 0, k.n_epochs * 2 * n, 8, "walk_vel");
+        GETBUF(B_NEG, neg_o, 0, k.n_epochs, 1, "walk_epoch_neg");
+        k.walk_starts = (const double *)bufs[B_STARTS].buf;
+        k.walk_vel = (const double *)bufs[B_VEL].buf;
+        k.walk_neg = (const unsigned char *)bufs[B_NEG].buf;
+    }
+
+    GETBUF(B_SA, scratch_a_o, 1, n, 8, "scratch_a");
+    GETBUF(B_SB, scratch_b_o, 1, n, 8, "scratch_b");
+    k.sa = (double *)bufs[B_SA].buf;
+    k.sb = (double *)bufs[B_SB].buf;
+    k.scratch_a_obj = scratch_a_o;
+    k.scratch_b_obj = scratch_b_o;
+    k.log10_obj = log10_o;
+    k.power_obj = power_o;
+
+    GETBUF(B_FIRST_RX, first_rx_o, 1, n, 8, "first_rx");
+    GETBUF(B_STRONGEST, strongest_o, 1, n, 8, "strongest");
+    GETBUF(B_STATE, state_o, 1, n, 1, "state_code");
+    GETBUF(B_HEARD, heard_o, 1, n * n, 1, "heard_from");
+    GETBUF(B_FRAME, frame_o, 1, 4 * n, 8, "frame_out");
+    GETBUF(B_TIMER, timer_o, 1, n, 8, "timer_deadline");
+    GETBUF(B_DECISIONS, decisions_o, 1, 4 * (2 * n + 1), 8, "decisions");
+    GETBUF(B_COUNTS, counts_o, 1, CN_COUNT, 8, "counts");
+    k.first_rx = (double *)bufs[B_FIRST_RX].buf;
+    k.strongest = (double *)bufs[B_STRONGEST].buf;
+    k.state = (signed char *)bufs[B_STATE].buf;
+    k.heard = (unsigned char *)bufs[B_HEARD].buf;
+    double *frame_out = (double *)bufs[B_FRAME].buf;
+    k.fr_sender = frame_out;
+    k.fr_power = frame_out + n;
+    k.fr_start = frame_out + 2 * n;
+    k.fr_flag = frame_out + 3 * n;
+    k.timer_deadline = (double *)bufs[B_TIMER].buf;
+    k.decisions = (double *)bufs[B_DECISIONS].buf;
+    k.dec_cap = 2 * n + 1;
+    long long *counts = (long long *)bufs[B_COUNTS].buf;
+
+    k.ten_obj = PyFloat_FromDouble(10.0);
+    if (k.ten_obj == NULL)
+        goto done;
+
+    /* plain-C scratch */
+    k.heap_cap = W + 4 * n + 16;
+    k.heap = (KEvent *)PyMem_Malloc(k.heap_cap * sizeof(KEvent));
+    k.fr_end = (double *)PyMem_Malloc(n * sizeof(double));
+    k.active = (long *)PyMem_Malloc(n * sizeof(long));
+    k.recent = (long *)PyMem_Malloc(n * sizeof(long));
+    k.overlap = (long *)PyMem_Malloc(n * sizeof(long));
+    k.pos = (double *)PyMem_Malloc(2 * n * sizeof(double));
+    k.rx = (double *)PyMem_Malloc(n * sizeof(double));
+    k.elig = (unsigned char *)PyMem_Malloc(n);
+    k.det = (long *)PyMem_Malloc(n * sizeof(long));
+    k.interf = (double *)PyMem_Malloc(n * sizeof(double));
+    if (k.heap == NULL || k.fr_end == NULL || k.active == NULL ||
+        k.recent == NULL || k.overlap == NULL || k.pos == NULL ||
+        k.rx == NULL || k.elig == NULL || k.det == NULL ||
+        k.interf == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+
+    /* --- event-loop setup, mirroring BroadcastSimulator.run() ------- */
+    /* window beacon rounds posted first: seq 0 .. W-1 */
+    for (long w = 0; w < W; w++)
+        if (k_push(&k, win_times[w], EV_BEACON, w, 0.0) < 0)
+            goto done;
+    /* start_broadcast(source, warmup) */
+    k.state[k.source] = ST_FORWARDED;
+    k.first_rx[k.source] = k.warmup;
+    if (k.record && k_decision(&k, k.warmup, k.source, DK_SOURCE, 0.0) < 0)
+        goto done;
+    if (k.warmup <= 0.0) {
+        if (k_do_transmit(&k, k.source, k.default_tx, 0.0) < 0)
+            goto done;
+    } else {
+        if (k_push(&k, k.warmup, EV_TRANSMIT, k.source, k.default_tx) < 0)
+            goto done;
+    }
+
+    /* --- run_until(horizon) ---------------------------------------- */
+    while (k.heap_len > 0 && k.heap[0].t <= k.horizon) {
+        KEvent e = k_pop(&k);
+        int rc = 0;
+        switch (e.kind) {
+        case EV_BEACON:
+            k.rx_cur = k.win_rx[e.a];
+            k.seen_cur = k.win_seen[e.a];
+            break;
+        case EV_TRANSMIT:
+            rc = k_do_transmit(&k, e.a, e.b, e.t);
+            break;
+        case EV_RESOLVE:
+            rc = k_resolve(&k, e.a, e.t);
+            break;
+        case EV_TIMER:
+            rc = k_on_timer(&k, e.a, e.t);
+            break;
+        }
+        if (rc < 0)
+            goto done;
+        k.fired++;
+    }
+
+    /* --- outputs ---------------------------------------------------- */
+    for (long f = 0; f < k.n_frames; f++)
+        k.fr_flag[f] = 0.0;
+    for (long i = 0; i < k.n_active; i++)
+        k.fr_flag[k.active[i]] = 1.0;
+    for (long i = 0; i < k.n_recent; i++)
+        k.fr_flag[k.recent[i]] = 2.0;
+    counts[CN_FIRED] = k.fired;
+    counts[CN_FRAMES] = k.n_frames;
+    counts[CN_RESOLVED] = k.n_resolved;
+    counts[CN_DRAWS] = k.draw - (long)ip[IP_RNG_OFFSET];
+    counts[CN_BATCH_VECTOR] = k.batch_vector;
+    counts[CN_BATCH_SCALAR] = k.batch_scalar;
+    counts[CN_DECISIONS] = k.n_decisions;
+    result = PyFloat_FromDouble(k.energy);
+
+done:
+    PyMem_Free(k.heap);
+    PyMem_Free(k.fr_end);
+    PyMem_Free(k.active);
+    PyMem_Free(k.recent);
+    PyMem_Free(k.overlap);
+    PyMem_Free(k.pos);
+    PyMem_Free(k.rx);
+    PyMem_Free(k.elig);
+    PyMem_Free(k.det);
+    PyMem_Free(k.interf);
+    PyMem_Free(k.win_rx);
+    PyMem_Free(k.win_seen);
+    Py_XDECREF(k.ten_obj);
+    for (long i = 0; i < n_wbufs; i++)
+        PyBuffer_Release(&wbufs[i]);
+    PyMem_Free(wbufs);
+    for (int i = 0; i < B_FIXED; i++)
+        if (held[i])
+            PyBuffer_Release(&bufs[i]);
+    return result;
+#undef GETBUF
+}
+
+/* ------------------------------------------------------------------ */
+/* probe_ops: arithmetic self-check hooks for the fallback ladder      */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+evcore_probe_ops(PyObject *self, PyObject *args)
+{
+    int op;
+    PyObject *a_o, *b_o, *out_o;
+    if (!PyArg_ParseTuple(args, "iOOO:probe_ops", &op, &a_o, &b_o, &out_o))
+        return NULL;
+    Py_buffer a, b, out;
+    if (get_buf(a_o, &a, 0, 0, 8, "a") < 0)
+        return NULL;
+    if (get_buf(b_o, &b, 0, 0, 8, "b") < 0) {
+        PyBuffer_Release(&a);
+        return NULL;
+    }
+    if (get_buf(out_o, &out, 1, 0, 8, "out") < 0) {
+        PyBuffer_Release(&a);
+        PyBuffer_Release(&b);
+        return NULL;
+    }
+    Py_ssize_t m = out.len / 8;
+    if (a.len / 8 < m || b.len / 8 < m) {
+        PyErr_SetString(PyExc_ValueError, "probe_ops: inputs shorter than out");
+        PyBuffer_Release(&a);
+        PyBuffer_Release(&b);
+        PyBuffer_Release(&out);
+        return NULL;
+    }
+    const double *pa = (const double *)a.buf;
+    const double *pb = (const double *)b.buf;
+    double *po = (double *)out.buf;
+    switch (op) {
+    case 0:   /* sqrt */
+        for (Py_ssize_t i = 0; i < m; i++)
+            po[i] = sqrt(pa[i]);
+        break;
+    case 1:   /* FMA-contraction canary: a*a + b*b as separate IEEE ops */
+        for (Py_ssize_t i = 0; i < m; i++) {
+            double xx = pa[i] * pa[i];
+            double yy = pb[i] * pb[i];
+            po[i] = xx + yy;
+        }
+        break;
+    case 2:   /* floored modulo, the np.mod replica of the fold */
+        for (Py_ssize_t i = 0; i < m; i++) {
+            double r = fmod(pa[i], pb[i]);
+            if (r != 0.0 && ((pb[i] < 0.0) != (r < 0.0)))
+                r = r + pb[i];
+            po[i] = r;
+        }
+        break;
+    default:
+        PyErr_SetString(PyExc_ValueError, "probe_ops: unknown op");
+        PyBuffer_Release(&a);
+        PyBuffer_Release(&b);
+        PyBuffer_Release(&out);
+        return NULL;
+    }
+    PyBuffer_Release(&a);
+    PyBuffer_Release(&b);
+    PyBuffer_Release(&out);
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* module                                                             */
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef evcore_methods[] = {
+    {"run_window", evcore_run_window, METH_VARARGS,
+     "Run one broadcast window in the compiled event core (see "
+     "repro.manet.compiled for the marshalling layer)."},
+    {"probe_ops", evcore_probe_ops, METH_VARARGS,
+     "probe_ops(op, a, b, out): evaluate sqrt / a*a+b*b / floored mod "
+     "natively so the Python layer can verify arithmetic identity."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef evcore_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.manet._evcore",
+    "Compiled event core: EventQueue/EventHandle drop-ins and the "
+    "run_window broadcast kernel (DESIGN.md §14).",
+    -1,
+    evcore_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__evcore(void)
+{
+    if (PyType_Ready(&EvHandle_Type) < 0 || PyType_Ready(&EvQueue_Type) < 0)
+        return NULL;
+    PyObject *m = PyModule_Create(&evcore_module);
+    if (m == NULL)
+        return NULL;
+    Py_INCREF(&EvHandle_Type);
+    if (PyModule_AddObject(m, "EventHandle", (PyObject *)&EvHandle_Type) < 0) {
+        Py_DECREF(&EvHandle_Type);
+        Py_DECREF(m);
+        return NULL;
+    }
+    Py_INCREF(&EvQueue_Type);
+    if (PyModule_AddObject(m, "EventQueue", (PyObject *)&EvQueue_Type) < 0) {
+        Py_DECREF(&EvQueue_Type);
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

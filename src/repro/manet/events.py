@@ -12,7 +12,7 @@ import heapq
 import itertools
 from typing import Callable
 
-__all__ = ["EventQueue", "EventHandle"]
+__all__ = ["EventQueue", "EventHandle", "make_event_queue"]
 
 
 class EventHandle:
@@ -124,3 +124,36 @@ class EventQueue:
             self._fired += 1
             fired_here += 1
         return fired_here
+
+
+def make_event_queue(mode: str | None = None):
+    """An event queue honouring the compiled-core mode (DESIGN.md §14).
+
+    Returns the compiled :class:`repro.manet._evcore.EventQueue` when the
+    extension is usable and the mode allows it, else the pure-Python
+    :class:`EventQueue`.  The two are drop-in interchangeable: identical
+    (time, insertion-order) pop ordering, tombstone cancellation, clock
+    semantics, and error messages — pinned by
+    ``tests/manet/test_events_spec.py`` running every case against both.
+
+    ``mode`` is a pre-resolved ``auto``/``on``/``off`` (e.g. a
+    simulator's ``compiled=`` argument); ``None`` reads
+    ``REPRO_COMPILED``.  ``on`` with no usable extension raises.
+    """
+    from repro.manet.compiled import (
+        compiled_core_available,
+        compiled_core_reason,
+        resolve_compiled_mode,
+    )
+
+    mode = resolve_compiled_mode(mode)
+    if mode != "off" and compiled_core_available():
+        from repro.manet import _evcore
+
+        return _evcore.EventQueue()
+    if mode == "on":
+        raise RuntimeError(
+            "REPRO_COMPILED=on but the compiled event core is unavailable: "
+            f"{compiled_core_reason()}"
+        )
+    return EventQueue()

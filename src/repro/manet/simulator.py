@@ -26,8 +26,15 @@ import numpy as np
 
 from repro.manet.aedb import AEDBParams, AEDBProtocol
 from repro.manet.beacons import NeighborTables
+from repro.manet.compiled import (
+    compiled_core_available,
+    compiled_core_reason,
+    execute_compiled_run,
+    precondition_blocker,
+    resolve_compiled_mode,
+)
 from repro.manet.config import SimulationConfig
-from repro.manet.events import EventQueue
+from repro.manet.events import make_event_queue
 from repro.manet.medium import Frame, RadioMedium, batched_deliveries_enabled
 from repro.manet.metrics import BroadcastMetrics
 from repro.manet.mobility import MobilityModel
@@ -55,6 +62,7 @@ class BroadcastSimulator:
         record_decisions: bool = False,
         batched: bool | None = None,
         live_index: bool | None = None,
+        compiled: bool | str | None = None,
     ):
         """``record_decisions`` opts into the protocol's per-event decision
         log (off by default: evaluation loops never read it and the
@@ -64,7 +72,11 @@ class BroadcastSimulator:
         batched wires frame resolution to
         :meth:`~repro.manet.aedb.AEDBProtocol.on_receive_batch`,
         live_index serves neighbour queries from the runtime's interval
-        index — either way the metrics are bit-identical (DESIGN.md §11)."""
+        index — either way the metrics are bit-identical (DESIGN.md §11).
+        ``compiled`` overrides ``REPRO_COMPILED`` (``auto``/``on``/``off``
+        or a bool) for the compiled event core of DESIGN.md §14; the
+        decision is captured here, so toggling the env var between
+        construction and :meth:`run` has no effect."""
         self.scenario = scenario
         self.params = params
         self._sim: SimulationConfig = scenario.sim
@@ -85,7 +97,13 @@ class BroadcastSimulator:
             self._protocol_rng = np.random.default_rng(seed)
 
         batched = batched_deliveries_enabled() if batched is None else bool(batched)
-        self.queue = EventQueue()
+        self._compiled_mode = resolve_compiled_mode(compiled)
+        if self._compiled_mode == "on" and not compiled_core_available():
+            raise RuntimeError(
+                "compiled=on but the compiled event core is unavailable: "
+                f"{compiled_core_reason()}"
+            )
+        self.queue = make_event_queue(self._compiled_mode)
         self.tables = NeighborTables(
             scenario.n_nodes, self._sim, self._mobility, runtime=runtime,
             use_live_index=live_index,
@@ -110,6 +128,22 @@ class BroadcastSimulator:
         # Captured once: the off path pays one boolean test per run,
         # never a per-event recorder call (DESIGN.md §12).
         self._deep = deep_telemetry_enabled()
+        # Compiled-core dispatch (DESIGN.md §14), decided once per
+        # simulator: the fallback ladder is extension availability →
+        # arithmetic self-check → run-shape preconditions.  ``on`` only
+        # asserts the toolchain (checked above); unsupported shapes fall
+        # back silently with the reason recorded.
+        #: True when :meth:`run` will execute through the compiled kernel.
+        self.compiled_active = False
+        #: Why the compiled core is not in use (None when it is).
+        self.compiled_reason: str | None = None
+        if self._compiled_mode == "off":
+            self.compiled_reason = "disabled (REPRO_COMPILED=off)"
+        elif not compiled_core_available():
+            self.compiled_reason = compiled_core_reason()
+        else:
+            self.compiled_reason = precondition_blocker(self)
+            self.compiled_active = self.compiled_reason is None
 
     # -- wiring ---------------------------------------------------------- #
     def _deliver(self, receiver: int, frame: Frame, rx_dbm: float, t: float) -> None:
@@ -147,12 +181,24 @@ class BroadcastSimulator:
             # enough to fully warm the tables: entries older than
             # ``neighbor_expiry_s`` at broadcast time can never influence a
             # query (identical semantics, ~3x fewer pairwise-loss matrices).
-            with rec.span("sim.beacon_schedule"):
-                run_beacon_schedule(sim, self.runtime, self.tables, self.queue)
+            if self.compiled_active:
+                # Compiled core (DESIGN.md §14): warm rounds stay in
+                # Python (O(1) snapshot swaps), then the whole broadcast
+                # window — window beacons, frames, timers, deliveries —
+                # runs as one kernel call whose writeback restores the
+                # exact pure-path end state.
+                with rec.span("sim.beacon_schedule"):
+                    for t in self.runtime.warm_times:
+                        self.tables.beacon_round(t)
+                with rec.span("sim.broadcast_window"):
+                    execute_compiled_run(self)
+            else:
+                with rec.span("sim.beacon_schedule"):
+                    run_beacon_schedule(sim, self.runtime, self.tables, self.queue)
 
-            self.protocol.start_broadcast(self.scenario.source, sim.warmup_s)
-            with rec.span("sim.broadcast_window"):
-                self.queue.run_until(sim.horizon_s)
+                self.protocol.start_broadcast(self.scenario.source, sim.warmup_s)
+                with rec.span("sim.broadcast_window"):
+                    self.queue.run_until(sim.horizon_s)
             metrics = self._collect_metrics()
         if self._deep:
             # Fine-grained readout (REPRO_TELEMETRY=deep): totals kept as

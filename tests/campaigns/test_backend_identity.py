@@ -99,6 +99,44 @@ class TestGoldenIdentity:
         _, store = run_backend(backend, f"pe-{backend}", golden_spec)
         assert store_digests(store.root) == golden_digests
 
+    @pytest.mark.compiled
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_identical_with_compiled_core_on(
+        self,
+        backend,
+        golden_spec,
+        golden_digests,
+        run_backend,
+        store_digests,
+        monkeypatch,
+    ):
+        """REPRO_COMPILED=on: the compiled event core (DESIGN.md §14)
+        must persist the same bytes as the reference run — through every
+        backend, workers included (the mode is resolved at simulator
+        construction inside each worker process, and ``on`` makes a
+        missing extension a hard error rather than a silent skew)."""
+        monkeypatch.setenv("REPRO_COMPILED", "on")
+        _, store = run_backend(backend, f"co-{backend}", golden_spec)
+        assert store_digests(store.root) == golden_digests
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_identical_with_compiled_core_off(
+        self,
+        backend,
+        golden_spec,
+        golden_digests,
+        run_backend,
+        store_digests,
+        monkeypatch,
+    ):
+        """REPRO_COMPILED=off: forcing the pure-Python reference path
+        reproduces the golden bytes whatever the ambient default was
+        when the golden store was written (on hosts with the extension
+        the golden run used the kernel — identical either way)."""
+        monkeypatch.setenv("REPRO_COMPILED", "off")
+        _, store = run_backend(backend, f"cf-{backend}", golden_spec)
+        assert store_digests(store.root) == golden_digests
+
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_sidecars_agree_as_key_sets(
         self, backend, golden_spec, run_backend

@@ -322,3 +322,50 @@ class TestKillNineResume:
             if line.strip() and not line.startswith('{"key":"torn')
         ]
         assert len(keys) == len(set(keys)) == golden_spec.n_cells
+
+    @pytest.mark.compiled
+    def test_sigkill_resume_with_compiled_core_enabled(
+        self, golden_spec, golden_digests, store_digests, tmp_path,
+        monkeypatch,
+    ):
+        """Same SIGKILL scenario with ``REPRO_COMPILED=on`` in both the
+        killed child and the resuming parent: a crash mid-kernel-run
+        leaves nothing half-written (the kernel's writeback is in-memory
+        only; persistence stays in the store layer), and the resumed
+        store is byte-identical to the fault-free reference."""
+        root = tmp_path / "killed-compiled"
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(Path(repro.__file__).resolve().parents[1]),
+            REPRO_COMPILED="on",
+            REPRO_FAULTS="hang(0.4):*@0",
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _CHILD_SCRIPT, str(root)],
+            env=env, stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            first = proc.stdout.readline().strip()
+            assert first
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+            proc.stdout.close()
+        assert proc.returncode == -signal.SIGKILL
+
+        store = ResultStore(root)
+        complete_before = [
+            c for c in golden_spec.cells() if store.is_complete(c)
+        ]
+        assert 0 < len(complete_before) < golden_spec.n_cells
+        with store.cell_path(complete_before[0]).open("a") as fh:
+            fh.write(TORN_JUNK)
+
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        monkeypatch.setenv("REPRO_COMPILED", "on")
+        report = CampaignExecutor(golden_spec, store, serial=True).run()
+        assert report.failed == []
+        assert store.status(golden_spec).is_complete
+        assert store_digests(store.root) == golden_digests
+        executed = {r.cell.key for r in report.executed}
+        assert executed.isdisjoint({c.key for c in complete_before})

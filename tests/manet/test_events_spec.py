@@ -1,0 +1,390 @@
+"""One spec, two engines: the event-queue contract, table-driven.
+
+The compiled event core (``repro.manet._evcore.EventQueue``,
+DESIGN.md §14) is only admissible because it is observationally
+identical to the pure-Python :class:`repro.manet.events.EventQueue` —
+same (time, insertion-order) pop ordering, tombstone cancellation,
+clock semantics, runaway guard, and error *messages*.  This suite pins
+that claim: every case from ``test_events.py`` (including the PR 5
+horizon/clock-advance and tombstone regressions) is ported into a
+table of engine-agnostic specs and executed against BOTH classes.
+
+All timestamps are floats on purpose: the compiled queue stores times
+as C doubles, so integer inputs would round-trip as ``4.0`` and the
+error-message comparison would be vacuously engine-dependent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.manet.events import EventQueue as PurePythonEventQueue
+from repro.manet.events import make_event_queue
+
+
+def _compiled_queue_cls():
+    from repro.manet import _evcore
+
+    return _evcore.EventQueue
+
+
+ENGINES = [
+    pytest.param(lambda: PurePythonEventQueue, id="python"),
+    pytest.param(_compiled_queue_cls, id="compiled", marks=pytest.mark.compiled),
+]
+
+
+@pytest.fixture(params=ENGINES)
+def queue_cls(request):
+    return request.param()
+
+
+# --------------------------------------------------------------------- #
+# The spec table.  Each case is a callable taking the engine class and
+# asserting one behavioural clause; the single parametrized test below
+# runs the full table against both engines.
+# --------------------------------------------------------------------- #
+
+
+def spec_events_fire_in_time_order(Q):
+    q = Q()
+    log = []
+    q.schedule(3.0, lambda t: log.append(("c", t)))
+    q.schedule(1.0, lambda t: log.append(("a", t)))
+    q.schedule(2.0, lambda t: log.append(("b", t)))
+    assert q.run_until(10.0) == 3
+    assert log == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+
+def spec_ties_fire_in_insertion_order(Q):
+    q = Q()
+    log = []
+    for name in "abcde":
+        q.schedule(5.0, lambda t, n=name: log.append(n))
+    q.run_until(5.0)
+    assert log == list("abcde")
+
+
+def spec_post_and_schedule_share_one_sequence(Q):
+    """Interleaved ``post`` and ``schedule`` at one timestamp keep global
+    insertion order — they draw from the same tie-break counter."""
+    q = Q()
+    log = []
+    q.schedule(2.0, lambda t: log.append("s0"))
+    q.post(2.0, lambda t: log.append("p1"))
+    q.schedule(2.0, lambda t: log.append("s2"))
+    q.post(2.0, lambda t: log.append("p3"))
+    q.run_until(2.0)
+    assert log == ["s0", "p1", "s2", "p3"]
+
+
+def spec_now_tracks_fired_events(Q):
+    q = Q()
+    seen = []
+    q.schedule(1.5, lambda t: seen.append(q.now))
+    q.schedule(4.0, lambda t: seen.append(q.now))
+    q.run_until(10.0)
+    assert seen == [1.5, 4.0]
+    assert q.now == 10.0
+
+
+def spec_events_can_schedule_events(Q):
+    q = Q()
+    log = []
+
+    def first(t):
+        log.append(("first", t))
+        q.schedule(t + 1.0, lambda t2: log.append(("second", t2)))
+
+    q.schedule(1.0, first)
+    assert q.run_until(5.0) == 2
+    assert log == [("first", 1.0), ("second", 2.0)]
+
+
+def spec_run_until_is_boundary_inclusive(Q):
+    q = Q()
+    log = []
+    q.schedule(2.0, lambda t: log.append("at"))
+    q.schedule(2.0000001, lambda t: log.append("after"))
+    assert q.run_until(2.0) == 1
+    assert log == ["at"]
+    assert q.pending == 1
+
+
+def spec_run_until_stops_at_horizon(Q):
+    q = Q()
+    log = []
+    for i in range(6):
+        q.schedule(float(i), lambda t, i=i: log.append(i))
+    assert q.run_until(3.0) == 4  # 0,1,2,3 inclusive
+    assert log == [0, 1, 2, 3]
+    assert q.run_until(10.0) == 2
+
+
+def spec_horizon_advances_clock_past_pending_events(Q):
+    """PR 5 regression: the clock must reach the horizon even when the
+    heap still holds events beyond it, so a later schedule() inside the
+    observed window is rejected."""
+    q = Q()
+    q.schedule(10.0, lambda t: None)
+    q.run_until(5.0)
+    assert q.now == 5.0
+    with pytest.raises(ValueError):
+        q.schedule(4.0, lambda t: None)
+
+
+def spec_horizon_advances_clock_past_cancelled_tombstone(Q):
+    """PR 5 regression: a cancelled tombstone beyond the horizon must
+    not pin the clock below it."""
+    q = Q()
+    h = q.schedule(10.0, lambda t: None)
+    h.cancel()
+    q.run_until(5.0)
+    assert q.now == 5.0
+    assert q.pending == 0
+
+
+def spec_earlier_horizon_does_not_rewind_clock(Q):
+    q = Q()
+    q.schedule(8.0, lambda t: None)
+    q.run_until(8.0)
+    assert q.now == 8.0
+    q.run_until(3.0)  # lower horizon: a no-op, never a rewind
+    assert q.now == 8.0
+
+
+def spec_post_fires_in_order_without_handle(Q):
+    q = Q()
+    log = []
+    q.post(2.0, lambda t: log.append(("b", t)))
+    q.post(1.0, lambda t: log.append(("a", t)))
+    assert q.run_until(5.0) == 2
+    assert log == [("a", 1.0), ("b", 2.0)]
+
+
+def spec_schedule_rejects_past_with_exact_message(Q):
+    q = Q()
+    q.schedule(5.0, lambda t: None)
+    q.run_until(5.0)
+    with pytest.raises(ValueError) as exc:
+        q.schedule(4.5, lambda t: None)
+    assert str(exc.value) == "cannot schedule at 4.5 (current time 5.0)"
+
+
+def spec_post_rejects_past_with_exact_message(Q):
+    q = Q()
+    q.schedule(5.0, lambda t: None)
+    q.run_until(5.0)
+    with pytest.raises(ValueError) as exc:
+        q.post(4.5, lambda t: None)
+    assert str(exc.value) == "cannot schedule at 4.5 (current time 5.0)"
+
+
+def spec_cancelled_event_is_skipped(Q):
+    q = Q()
+    log = []
+    keep = q.schedule(1.0, lambda t: log.append("keep"))
+    drop = q.schedule(2.0, lambda t: log.append("drop"))
+    q.schedule(3.0, lambda t: log.append("tail"))
+    drop.cancel()
+    assert drop.cancelled and not keep.cancelled
+    assert q.run_until(10.0) == 2
+    assert log == ["keep", "tail"]
+
+
+def spec_cancel_during_run_suppresses_later_event(Q):
+    q = Q()
+    log = []
+    victim = q.schedule(2.0, lambda t: log.append("victim"))
+    q.schedule(1.0, lambda t: victim.cancel())
+    q.run_until(10.0)
+    assert log == []
+    assert q.fired == 1  # the canceller fired; the victim did not
+
+
+def spec_cancelled_events_do_not_count_as_fired(Q):
+    q = Q()
+    h = q.schedule(1.0, lambda t: None)
+    h.cancel()
+    q.schedule(2.0, lambda t: None)
+    assert q.run_until(10.0) == 1
+    assert q.fired == 1
+
+
+def spec_pending_excludes_cancelled(Q):
+    q = Q()
+    q.schedule(1.0, lambda t: None)
+    h = q.schedule(2.0, lambda t: None)
+    assert q.pending == 2
+    h.cancel()
+    assert q.pending == 1
+
+
+def spec_cancel_after_fire_is_a_noop(Q):
+    q = Q()
+    log = []
+    h = q.schedule(1.0, lambda t: log.append("fired"))
+    q.run_until(1.0)
+    h.cancel()  # late cancel must not corrupt anything
+    assert log == ["fired"]
+    assert q.fired == 1
+
+
+def spec_fired_accumulates_across_runs(Q):
+    q = Q()
+    for i in range(4):
+        q.schedule(float(i), lambda t: None)
+    q.run_until(1.0)
+    assert q.fired == 2
+    q.run_until(10.0)
+    assert q.fired == 4
+
+
+def spec_callback_exception_propagates_with_clock_at_event(Q):
+    """A raising callback leaves the queue usable: the clock sits at the
+    failing event's time, the failure is not counted as fired, and the
+    remaining events still run."""
+    q = Q()
+    q.schedule(1.0, lambda t: None)
+
+    def boom(t):
+        raise RuntimeError("boom")
+
+    q.schedule(2.0, boom)
+    q.schedule(3.0, lambda t: None)
+    with pytest.raises(RuntimeError, match="boom"):
+        q.run_until(10.0)
+    assert q.now == 2.0
+    assert q.fired == 1
+    assert q.run_until(10.0) == 1
+
+
+def spec_run_all_drains_everything(Q):
+    q = Q()
+    log = []
+    q.schedule(2.0, lambda t: log.append("b"))
+    q.schedule(1.0, lambda t: log.append("a"))
+    assert q.run_all() == 2
+    assert log == ["a", "b"]
+    assert q.pending == 0
+
+
+def spec_run_all_guards_against_runaway_schedules(Q):
+    q = Q()
+
+    def reschedule(t):
+        q.schedule(t + 1.0, reschedule)
+
+    q.schedule(0.0, reschedule)
+    with pytest.raises(RuntimeError) as exc:
+        q.run_all(hard_limit=100)
+    assert str(exc.value) == "event limit exceeded; runaway schedule?"
+
+
+SPECS = [
+    spec_events_fire_in_time_order,
+    spec_ties_fire_in_insertion_order,
+    spec_post_and_schedule_share_one_sequence,
+    spec_now_tracks_fired_events,
+    spec_events_can_schedule_events,
+    spec_run_until_is_boundary_inclusive,
+    spec_run_until_stops_at_horizon,
+    spec_horizon_advances_clock_past_pending_events,
+    spec_horizon_advances_clock_past_cancelled_tombstone,
+    spec_earlier_horizon_does_not_rewind_clock,
+    spec_post_fires_in_order_without_handle,
+    spec_schedule_rejects_past_with_exact_message,
+    spec_post_rejects_past_with_exact_message,
+    spec_cancelled_event_is_skipped,
+    spec_cancel_during_run_suppresses_later_event,
+    spec_cancelled_events_do_not_count_as_fired,
+    spec_pending_excludes_cancelled,
+    spec_cancel_after_fire_is_a_noop,
+    spec_fired_accumulates_across_runs,
+    spec_callback_exception_propagates_with_clock_at_event,
+    spec_run_all_drains_everything,
+    spec_run_all_guards_against_runaway_schedules,
+]
+
+
+@pytest.mark.parametrize(
+    "spec", SPECS, ids=[s.__name__.removeprefix("spec_") for s in SPECS]
+)
+def test_event_queue_spec(queue_cls, spec):
+    spec(queue_cls)
+
+
+# --------------------------------------------------------------------- #
+# A differential trace: one deterministic pseudo-random op script driven
+# through both engines side by side, with every observable compared
+# after every op.  Catches interaction bugs no single-clause spec does.
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.compiled
+def test_randomised_op_script_traces_identically():
+    import numpy as np
+
+    rng = np.random.default_rng(0xE5CE)
+    pure, fast = PurePythonEventQueue(), _compiled_queue_cls()()
+    logs = ([], [])
+    handles = ([], [])
+
+    def observe():
+        assert fast.now == pure.now
+        assert fast.fired == pure.fired
+        assert fast.pending == pure.pending
+        assert logs[1] == logs[0]
+
+    for step in range(400):
+        op = rng.integers(0, 10)
+        t = pure.now + float(np.round(rng.uniform(0.0, 3.0), 3))
+        if op <= 4:  # schedule
+            for i, q in enumerate((pure, fast)):
+                handles[i].append(
+                    q.schedule(t, lambda ft, i=i, s=step: logs[i].append((s, ft)))
+                )
+        elif op <= 6:  # post
+            for i, q in enumerate((pure, fast)):
+                q.post(t, lambda ft, i=i, s=step: logs[i].append((s, ft)))
+        elif op == 7 and handles[0]:  # cancel a pseudo-random live handle
+            j = int(rng.integers(0, len(handles[0])))
+            handles[0][j].cancel()
+            handles[1][j].cancel()
+        else:  # run a slice of the timeline
+            for q in (pure, fast):
+                q.run_until(t)
+        observe()
+    for q in (pure, fast):
+        q.run_all()
+    observe()
+
+
+class TestFactory:
+    """make_event_queue honours the resolved compiled mode."""
+
+    def test_off_returns_pure_python(self):
+        assert type(make_event_queue("off")) is PurePythonEventQueue
+
+    @pytest.mark.compiled
+    def test_auto_and_on_return_compiled_when_available(self):
+        cls = _compiled_queue_cls()
+        assert type(make_event_queue("auto")) is cls
+        assert type(make_event_queue("on")) is cls
+
+    def test_on_without_extension_raises(self, monkeypatch):
+        import repro.manet.compiled as compiled_mod
+
+        monkeypatch.setattr(
+            compiled_mod, "_STATE", (None, "forced unavailable (test)")
+        )
+        with pytest.raises(RuntimeError, match="forced unavailable"):
+            make_event_queue("on")
+
+    def test_auto_without_extension_falls_back(self, monkeypatch):
+        import repro.manet.compiled as compiled_mod
+
+        monkeypatch.setattr(
+            compiled_mod, "_STATE", (None, "forced unavailable (test)")
+        )
+        assert type(make_event_queue("auto")) is PurePythonEventQueue
