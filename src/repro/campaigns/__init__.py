@@ -95,7 +95,7 @@ Execution backends (DESIGN.md §10)
 *How* the cells run is a pluggable strategy behind the
 :class:`~repro.campaigns.backends.Backend` protocol —
 ``CampaignExecutor(..., backend=...)`` or ``repro-aedb campaign run
---backend {inline,pool,shard:N}``:
+--backend {inline,pool,shard:N,remote:N}``:
 
 * ``inline`` — serial, in-process; the debuggable reference;
 * ``pool`` (default) — one shared process pool over all cells' jobs;
@@ -103,13 +103,20 @@ Execution backends (DESIGN.md §10)
   run by a subprocess against **its own** store directory (own
   ``evaluations.jsonl`` handle, warmed from the parent's), then merged
   back with dedup-by-key and conflict detection.  ``repro-aedb
-  campaign merge <dirs...>`` exposes the same merge standalone.
+  campaign merge <dirs...>`` exposes the same merge standalone;
+* ``remote:N[@transport]`` — the same shard protocol over a pluggable
+  transport (DESIGN.md §15): each shard ships as a self-contained
+  bundle (``request.json`` + cache warm start + seed store), runs via
+  ``repro-aedb campaign shard-exec`` on a worker, and streams its
+  store back for the identical merge.  ``@loopback`` (default) runs
+  workers as local subprocesses; ``@ssh:host`` runs the same worker
+  over ssh.  ``repro-aedb campaign serve`` / ``worker`` turn the
+  transport into a queue-backed daemon + fleet
+  (:mod:`repro.campaigns.service`).
 
 All backends produce **byte-identical** stores for the same spec —
 the invariant ``tests/campaigns/test_backend_identity.py`` pins — so
-backend choice is purely an execution/deployment decision.  A remote
-transport is "only" a fourth implementation of the protocol; the shard
-layout and merge semantics are already transport-agnostic.
+backend choice is purely an execution/deployment decision.
 
 Failure semantics (DESIGN.md §13)
 =================================
@@ -126,15 +133,20 @@ aborting anything.  Recovered runs stay byte-identical to fault-free
 ones; ``tests/campaigns/test_chaos.py`` proves every path against the
 deterministic fault plane in :mod:`repro.campaigns.faults`.
 
-Follow-ups tracked in ROADMAP.md: a remote shard transport and result
-dashboards on top of the JSONL store.
+Follow-ups tracked in ROADMAP.md: result dashboards on top of the
+JSONL store.
 """
 
 from repro.campaigns.backends import (
     Backend,
     InlineBackend,
+    LoopbackTransport,
     PoolBackend,
+    RemoteShardBackend,
     ShardBackend,
+    ShardTransport,
+    SSHTransport,
+    TransportError,
     resolve_backend,
 )
 from repro.campaigns.executor import (
@@ -154,6 +166,12 @@ from repro.campaigns.resilience import (
     FailureLedger,
     LeaseTable,
     RetryPolicy,
+)
+from repro.campaigns.service import (
+    CampaignDaemon,
+    QueueTransport,
+    serve_worker,
+    submit_campaign,
 )
 from repro.campaigns.spec import (
     DEFAULT_PARAMS,
@@ -182,6 +200,15 @@ __all__ = [
     "InlineBackend",
     "PoolBackend",
     "ShardBackend",
+    "RemoteShardBackend",
+    "ShardTransport",
+    "LoopbackTransport",
+    "SSHTransport",
+    "TransportError",
+    "CampaignDaemon",
+    "QueueTransport",
+    "submit_campaign",
+    "serve_worker",
     "resolve_backend",
     "render_report",
     "render_status",

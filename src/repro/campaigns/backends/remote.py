@@ -1,0 +1,314 @@
+"""Remote shard execution: the shard protocol over a pluggable transport.
+
+:class:`RemoteShardBackend` is the fourth implementation of the backend
+protocol (DESIGN.md §10) and deliberately a *thin* one: the partition,
+store layout, merge semantics, and dead-shard recovery loop are all
+inherited from :class:`~repro.campaigns.backends.shard.ShardBackend` —
+the remote backend only replaces *how a shard runs* (a transport ships
+a bundle and streams the store back, instead of a local subprocess
+returning results over IPC) and *how its outcome travels* (a JSON
+``result.json`` summary of cell keys and counters; the records
+themselves ride in the shard store files, which is the only channel a
+remote machine has anyway).
+
+The wire format is the content-keyed shard bundle described in
+:mod:`repro.campaigns.backends.transport`: ``request.json`` carries the
+spec JSON, the shard's cell keys, the serialized
+:class:`~repro.campaigns.resilience.RetryPolicy`, and the parent's
+attempt ledger for those cells — so an in-shard quarantine on a remote
+machine spends exactly the budget it would locally.  Ad-hoc scale
+*objects* cannot cross the wire; remote campaigns use the spec's named
+scale (the executor's ``scale=`` override raises here).
+
+Worker loss (nonzero exit, ``kill -9``, fetch failure) surfaces as a
+:class:`~repro.campaigns.backends.transport.TransportError` from the
+transport, which the inherited recovery loop treats exactly like a dead
+local shard: the partial store the transport salvaged merges back, lost
+cells are charged one attempt and requeued over the survivors, and the
+run never aborts (DESIGN.md §15).  A twice-fetched or re-merged shard
+is absorbed by ``ResultStore.merge_from`` dedup plus the idempotent
+telemetry/ledger folds.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from pathlib import Path
+
+from repro.campaigns.backends.shard import ShardBackend, ShardSpec
+from repro.campaigns.backends.transport import (
+    REQUEST_FILE,
+    RESULT_FILE,
+    STORE_DIR,
+    WARM_FILE,
+    LoopbackTransport,
+    ShardTransport,
+)
+from repro.campaigns.resilience import RetryPolicy
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
+
+__all__ = [
+    "RemoteShardBackend",
+    "write_request",
+    "execute_request",
+    "REQUEST_VERSION",
+]
+
+#: ``request.json`` schema version (workers reject foreign versions).
+REQUEST_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+def write_request(
+    bundle_dir: Path,
+    *,
+    spec: CampaignSpec,
+    shard: ShardSpec,
+    use_cache: bool,
+    warm_path: Path | None = None,
+    seed_store: Path | None = None,
+    mls_engine: str | None = None,
+    policy: RetryPolicy | None = None,
+    initial_attempts: dict[str, int] | None = None,
+) -> Path:
+    """Materialise one shard's work order as a transportable bundle."""
+    bundle_dir = Path(bundle_dir)
+    bundle_dir.mkdir(parents=True, exist_ok=True)
+    if warm_path is not None and Path(warm_path).exists():
+        shutil.copyfile(warm_path, bundle_dir / WARM_FILE)
+    if seed_store is not None and Path(seed_store).is_dir():
+        # Resume shipping: the parent-side shard store from an earlier
+        # attempt travels with the request, so the worker skips its
+        # completed cells exactly like a resumed local shard.
+        shutil.copytree(
+            seed_store, bundle_dir / STORE_DIR, dirs_exist_ok=True
+        )
+    request = {
+        "v": REQUEST_VERSION,
+        "shard_key": shard.key,
+        "shard_index": shard.index,
+        "n_shards": shard.n_shards,
+        "cells": list(shard.cell_keys),
+        "spec": json.loads(spec.to_json()),
+        "use_cache": bool(use_cache),
+        "mls_engine": mls_engine,
+        "retry_policy": (
+            policy.as_dict() if policy is not None else None
+        ),
+        "initial_attempts": dict(initial_attempts or {}),
+    }
+    path = bundle_dir / REQUEST_FILE
+    path.write_text(json.dumps(request, sort_keys=True, indent=1))
+    return path
+
+
+def execute_request(
+    bundle_dir: str | Path,
+    store_dir: str | Path | None = None,
+    result_path: str | Path | None = None,
+) -> dict:
+    """The worker side: run one shard bundle, write store + summary.
+
+    The remote twin of the local backend's ``_run_shard`` — a serial
+    in-shard :class:`~repro.campaigns.executor.CampaignExecutor` against
+    the bundle's own store (``<bundle>/store`` by default), its cache
+    sidecar warmed read-only from the shipped ``warm.jsonl``.  The
+    summary (written atomically to ``<bundle>/result.json``) carries
+    only keys and counters; records live in the store files the
+    transport fetches back.  ``repro-aedb campaign shard-exec`` is the
+    CLI face of this function.
+    """
+    from repro.campaigns.executor import CampaignExecutor
+    from repro.tuning.cache import PersistentEvaluationCache
+
+    bundle = Path(bundle_dir)
+    request = json.loads((bundle / REQUEST_FILE).read_text())
+    if request.get("v") != REQUEST_VERSION:
+        raise ValueError(
+            f"unsupported shard request version {request.get('v')!r} "
+            f"in {bundle / REQUEST_FILE}"
+        )
+    spec = CampaignSpec.from_json(json.dumps(request["spec"]))
+    store = ResultStore(
+        Path(store_dir) if store_dir is not None else bundle / STORE_DIR
+    )
+    policy = None
+    if request.get("retry_policy") is not None:
+        policy = RetryPolicy.from_dict(request["retry_policy"])
+    cache = None
+    if request.get("use_cache"):
+        cache = PersistentEvaluationCache(store.eval_cache_path)
+        warm = bundle / WARM_FILE
+        if warm.exists():
+            cache.warm_from(str(warm))
+    executor = CampaignExecutor(
+        spec,
+        store,
+        serial=True,
+        mls_engine=request.get("mls_engine"),
+        eval_cache=cache if cache is not None else None,
+        only_cells=tuple(request["cells"]),
+        telemetry_attrs={"shard": int(request["shard_index"])},
+        retry_policy=policy,
+        initial_attempts={
+            str(k): int(n)
+            for k, n in (request.get("initial_attempts") or {}).items()
+        },
+    )
+    # The parent emits the campaign-wide roll-up counters after the
+    # merge (same contract as the local shard worker).
+    executor._emit_rollup_counters = False
+    try:
+        report = executor.run()
+    finally:
+        if cache is not None:
+            cache.close()
+    summary = {
+        "v": REQUEST_VERSION,
+        "shard_key": request["shard_key"],
+        "shard_index": int(request["shard_index"]),
+        "executed": [r.cell.key for r in report.executed],
+        "resumed": [cell.key for cell in report.skipped],
+        "failed": [
+            [f.cell_key, f.attempts, f.error] for f in report.failed
+        ],
+        "cache_hits": report.cache_hits,
+        "simulations_executed": report.simulations_executed,
+        "store_digest": store.content_digest(),
+    }
+    out = Path(
+        result_path if result_path is not None else bundle / RESULT_FILE
+    )
+    tmp = out.with_suffix(out.suffix + ".tmp")
+    tmp.write_text(json.dumps(summary, sort_keys=True, indent=1))
+    tmp.replace(out)
+    return summary
+
+
+# --------------------------------------------------------------------- #
+class RemoteShardBackend(ShardBackend):
+    """Run content-keyed shards on remote workers behind a transport.
+
+    Inherits the parent-cache pre-filter, the dispatch/merge/report
+    round loop, dead-shard requeue over survivors, and the final sweep
+    from :class:`ShardBackend`; only dispatch is replaced (threads
+    waiting on the transport instead of a local process pool).
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        transport: ShardTransport | None = None,
+        max_workers: int | None = None,
+        keep_shards: bool = False,
+    ):
+        super().__init__(n_shards, max_workers, keep_shards)
+        self.transport = transport or LoopbackTransport()
+        self.name = f"remote:{self.n_shards}@{self.transport.name}"
+
+    def execute(self, ctx) -> None:
+        if ctx.store is None and ctx.cache is None:
+            raise ValueError(
+                "remote backend needs a store or an evaluation cache: "
+                "results travel back as shard store files, not over IPC"
+            )
+        if ctx.scale_override is not None:
+            raise ValueError(
+                "remote backend cannot ship ad-hoc scale objects; "
+                "name the scale in the spec (CampaignSpec(scale=...))"
+            )
+        super().execute(ctx)
+
+    # ------------------------------------------------------------------ #
+    def _dispatch_round(self, ctx, shards, shards_root, use_cache, round_no):
+        """One transport call per shard, concurrently; same return shape
+        as the local backend: ``(results by index, exceptions)``."""
+        rec = ctx.recorder
+        warm = None
+        if use_cache and Path(ctx.cache.path).exists():
+            warm = Path(ctx.cache.path)
+        max_workers = self.max_workers or ctx.max_workers
+        n_threads = min(len(shards), max_workers or len(shards))
+        results, failures = {}, {}
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            futures = {}
+            for shard in shards:
+                for key in shard.cell_keys:
+                    rec.event("cell.leased", cell=key,
+                              backend=self.name, shard=shard.index)
+                rec.event("shard.dispatched", shard=shard.index,
+                          n_cells=len(shard.cells), round=round_no,
+                          transport=self.transport.name)
+                futures[pool.submit(
+                    self._run_remote, ctx, shard, shards_root,
+                    use_cache, warm,
+                )] = shard
+            for future in as_completed(futures):
+                shard = futures[future]
+                try:
+                    results[shard.index] = future.result()
+                    rec.event("shard.finished", shard=shard.index,
+                              round=round_no)
+                except Exception as exc:  # noqa: BLE001
+                    failures[shard.index] = exc
+                    rec.event("shard.failed", shard=shard.index,
+                              round=round_no, error=repr(exc))
+        return results, failures
+
+    def _run_remote(self, ctx, shard, shards_root, use_cache, warm):
+        """Bundle → transport → fetched store → a local-shaped result."""
+        from repro.campaigns.backends.shard import _ShardResult
+
+        dest = Path(shards_root) / shard.key
+        with tempfile.TemporaryDirectory(
+            prefix="repro-aedb-bundle-"
+        ) as tmp:
+            bundle = Path(tmp) / "bundle"
+            write_request(
+                bundle,
+                spec=ctx.spec,
+                shard=shard,
+                use_cache=use_cache,
+                warm_path=warm,
+                seed_store=dest if dest.is_dir() else None,
+                mls_engine=ctx.mls_engine,
+                policy=ctx.policy,
+                initial_attempts={
+                    key: ctx.leases.attempts(key)
+                    for key in shard.cell_keys
+                    if ctx.leases.attempts(key) > 0
+                },
+            )
+            t0 = time.perf_counter()
+            summary = self.transport.run_shard(shard.key, bundle, dest)
+            ctx.recorder.record_span(
+                "shard.transport", time.perf_counter() - t0,
+                shard=shard.index, transport=self.transport.name,
+            )
+        fetched = ResultStore(dest)
+        cell_by_key = {cell.key: cell for cell in shard.cells}
+        executed = tuple(
+            (key, fetched.read_cell(cell_by_key[key]), [])
+            for key in summary.get("executed", ())
+        )
+        resumed = tuple(
+            (key, fetched.read_cell(cell_by_key[key]), [])
+            for key in summary.get("resumed", ())
+        )
+        return _ShardResult(
+            executed=executed,
+            resumed=resumed,
+            cache_hits=int(summary.get("cache_hits", 0)),
+            simulations_executed=int(
+                summary.get("simulations_executed", 0)
+            ),
+            failed=tuple(
+                (str(key), int(attempts), str(error))
+                for key, attempts, error in summary.get("failed", ())
+            ),
+        )

@@ -466,18 +466,20 @@ class ShardBackend:
             shard_store = ResultStore(shards_root / shard.key)
             if ctx.store is not None:
                 # Fold the shard's observation streams (if any) into
-                # the parent's — additive by design (counter lines are
-                # deltas; ledger entries are per-quarantine), exactly
-                # once per shard directory lifetime.
+                # the parent's.  Idempotent per shard key: counter
+                # lines are deltas and ledger entries per-quarantine,
+                # so the fold layer dedups re-merges — a resumed run
+                # re-merging a leftover shard directory, or a remote
+                # shard fetched twice, folds each line exactly once.
                 merge_telemetry_files(
                     ctx.store.telemetry_path,
                     shard_store.telemetry_path,
+                    source_id=shard.key,
                 )
                 if shard_store.failures_path.exists():
                     FailureLedger(ctx.store.failures_path).fold_from(
                         shard_store.failures_path
                     )
-                    shard_store.failures_path.unlink(missing_ok=True)
             if not shard_store.spec_path.exists():
                 continue  # shard died before writing anything
             if ctx.store is not None:

@@ -44,6 +44,7 @@ the determinism contract the campaign tests pin down.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass
@@ -146,6 +147,27 @@ class ResultStore:
 
     def cell_path(self, cell: CampaignCell) -> Path:
         return self.root / self.CELLS_DIR / f"{cell.key}.jsonl"
+
+    def content_digest(self) -> str:
+        """sha1 over the sorted cell files — the store's result identity.
+
+        Hashes exactly the bit-identity surface (``cells/*.jsonl``, name
+        and bytes; never telemetry, ledger, or sidecar).  Two stores
+        holding the same completed results digest identically whatever
+        backend or transport produced them — the remote worker stamps
+        this into its ``result.json`` so the serving side can assert a
+        fetched shard arrived whole, and the identity tests compare it
+        directly.
+        """
+        digest = hashlib.sha1()
+        cells_dir = self.root / self.CELLS_DIR
+        files = sorted(cells_dir.glob("*.jsonl")) if cells_dir.is_dir() else []
+        for path in files:
+            digest.update(path.name.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     def save_spec(self, spec: CampaignSpec) -> None:

@@ -476,25 +476,87 @@ def _parseable_lines(path: Path) -> Iterable[str]:
     return out
 
 
-def merge_telemetry_files(dest: str | Path, src: str | Path) -> int:
+def _fold_progress(dest: Path, source_id: str) -> int:
+    """Parseable source lines already folded into ``dest`` for this id.
+
+    Fold-marker lines (``kind="fold"``) record the cumulative count; the
+    highest wins (markers are whole flushed lines, so a torn marker is
+    simply skipped and the fold re-appends at worst its own batch).
+    """
+    best = 0
+    for line in _parseable_lines(dest):
+        obj = json.loads(line)
+        if (
+            isinstance(obj, dict)
+            and obj.get("kind") == "fold"
+            and obj.get("id") == source_id
+        ):
+            try:
+                best = max(best, int(obj.get("n", 0)))
+            except (TypeError, ValueError):
+                continue
+    return best
+
+
+def merge_telemetry_files(
+    dest: str | Path, src: str | Path, source_id: str | None = None
+) -> int:
     """Append ``src``'s parseable telemetry lines to ``dest``.
 
     The shard backend's aggregation step: a finished shard store's
     ``telemetry.jsonl`` folds into the parent campaign's.  Line-level
     append of whole flushed lines through a private handle (the same
     safety argument as ``ResultStore.merge_eval_files``), torn tails
-    skipped.  Telemetry is an append-only observation log — entries are
-    *not* content-keyed, so merging is additive, not idempotent; the
-    backend calls this exactly once per shard per run.  Returns the
-    number of lines appended.
+    skipped.
+
+    Telemetry entries are *not* content-keyed (counter lines are
+    deltas), so a naive re-merge double-counts.  Passing ``source_id``
+    (the shard backends use the shard's content key) makes the fold
+    **idempotent and incremental per source**: after appending, a
+    ``{"kind": "fold", "id": ..., "n": <cumulative lines>}`` marker line
+    is written to ``dest``, and a later fold of the same source skips
+    the already-folded prefix — re-folding an unchanged file is a no-op,
+    re-folding a *grown* one (a resumed shard that appended) folds only
+    the tail.  Markers are invisible to every reader
+    (:class:`~repro.telemetry.summary.TelemetrySummary` passes over the
+    ``fold`` kind) and are never copied between files.  Without
+    ``source_id`` the merge stays plainly additive (callers that fold a
+    file exactly once, like the heartbeat monitor's per-run scratch
+    directory).  Returns the number of lines appended.
     """
-    lines = list(_parseable_lines(Path(src)))
+    src_lines = [
+        line
+        for line in _parseable_lines(Path(src))
+        # A source's own fold markers are its local bookkeeping: copying
+        # them would corrupt the destination's progress accounting.
+        if json.loads(line).get("kind") != "fold"
+    ]
+    dest = Path(dest)
+    skip = 0
+    if source_id is not None:
+        skip = _fold_progress(dest, source_id)
+        if len(src_lines) <= skip:
+            return 0
+    lines = src_lines[skip:]
     if not lines:
         return 0
-    dest = Path(dest)
+    if source_id is not None:
+        lines = lines + [
+            json.dumps(
+                {
+                    "v": LINE_VERSION,
+                    "kind": "fold",
+                    "id": source_id,
+                    "n": len(src_lines),
+                    "t": time.time(),
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        ]
     dest.parent.mkdir(parents=True, exist_ok=True)
     ensure_line_boundary(dest)
     with dest.open("a", encoding="utf-8") as fh:
         fh.write("\n".join(lines) + "\n")
         fh.flush()
-    return len(lines)
+    return len(lines) - (1 if source_id is not None else 0)

@@ -104,6 +104,11 @@ class TelemetrySummary:
                         f"{name}{json.dumps(attrs, sort_keys=True)}"
                     )
                     summary.gauges[gkey] = float(obj["value"])
+                elif kind == "fold":
+                    # Merge-idempotence bookkeeping written by
+                    # merge_telemetry_files — not an observation, not a
+                    # torn line; pass over it silently.
+                    pass
                 else:
                     summary.n_skipped += 1
             except (KeyError, TypeError, ValueError):

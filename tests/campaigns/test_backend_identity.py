@@ -2,12 +2,14 @@
 
 DESIGN.md §10's headline invariant, pinned in one place instead of the
 ad-hoc per-PR identity checks that preceded it: for the same
-:class:`CampaignSpec`, the ``inline``, ``pool``, and ``shard:2``
-backends must persist **byte-identical** result records — with shared
-runtimes on or off (``REPRO_SHARED_RUNTIME=0``) — and a standalone
-``campaign merge`` of kept shard stores must equal the single-store
-run.  Re-running any backend against a populated evaluation cache must
-execute zero simulations.
+:class:`CampaignSpec`, the ``inline``, ``pool``, ``shard:2``, and
+``remote:2`` (loopback transport — shards shipped as bundles to
+subprocess workers and streamed back) backends must persist
+**byte-identical** result records — with shared runtimes on or off
+(``REPRO_SHARED_RUNTIME=0``) — and a standalone ``campaign merge`` of
+kept shard stores must equal the single-store run.  Re-running any
+backend against a populated evaluation cache must execute zero
+simulations.
 
 Seeds are fully pinned by the spec (``master_seed`` fans out every
 stream), so this file is deterministic under any test ordering; CI's
@@ -25,7 +27,7 @@ from repro.campaigns import (
 )
 from repro.manet.shared import set_shared_runtimes
 
-BACKENDS = ("inline", "pool", "shard:2")
+BACKENDS = ("inline", "pool", "shard:2", "remote:2")
 
 
 def eval_cache_keys_at(path) -> set:

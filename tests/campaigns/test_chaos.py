@@ -211,6 +211,89 @@ class TestShardRecovery:
         assert [e["cell"] for e in ledger.entries()] == [poison]
 
 
+class TestRemoteRecovery:
+    def test_dead_remote_worker_requeues_onto_survivors(
+        self, golden_spec, golden_digests, run_backend, store_digests,
+        monkeypatch,
+    ):
+        """The loopback twin of the dead-shard test: the fault plane
+        hard-exits one remote worker subprocess mid-shard (crossing the
+        transport boundary via the environment).  The partial store the
+        transport salvaged merges back, the lost cells requeue onto the
+        surviving shard count, and the final store is byte-identical."""
+        victim = golden_spec.cells()[0].key
+        monkeypatch.setenv("REPRO_FAULTS", f"crash:{victim}@1")
+        monkeypatch.setenv("REPRO_TELEMETRY", "on")
+        report, store = run_backend(
+            "remote:2", "dead-remote", golden_spec, retry_policy=FAST
+        )
+        assert report.failed == []
+        assert report.requeues >= 1
+        assert store_digests(store.root) == golden_digests
+        telemetry = store.telemetry_path.read_text()
+        assert '"shard.requeue"' in telemetry
+        assert '"shard.transport"' in telemetry
+        assert not (store.root / "shards").exists()
+
+    def test_twice_fetched_shard_merges_identical_with_zero_duplicates(
+        self, golden_spec, golden_digests, run_backend, store_digests,
+        monkeypatch,
+    ):
+        """The same shard fetched and merged **twice** into one dest.
+
+        ``remote:1`` with a crash on the very first cell: the requeued
+        retry covers the identical cell set over the identical shard
+        count, so the recovery round reuses the *same* content-keyed
+        shard directory — the partial salvage from attempt 1 ships back
+        out as the bundle seed, the second fetch overwrites it
+        file-by-file, and the parent folds the same shard source twice.
+        Everything downstream must be idempotent: byte-identical store,
+        each evaluation cached once, each telemetry line counted once."""
+        from repro.campaigns.backends.remote import RemoteShardBackend
+        from repro.campaigns.backends.transport import LoopbackTransport
+
+        class Recording(LoopbackTransport):
+            calls: list = []
+
+            def run_shard(self, shard_key, bundle_dir, dest_store):
+                self.calls.append(shard_key)
+                return super().run_shard(shard_key, bundle_dir, dest_store)
+
+        victim = golden_spec.cells()[0].key
+        monkeypatch.setenv("REPRO_FAULTS", f"crash:{victim}@1")
+        monkeypatch.setenv("REPRO_TELEMETRY", "on")
+        transport = Recording()
+        transport.calls = []
+        report, store = run_backend(
+            RemoteShardBackend(1, transport=transport),
+            "twice-fetched", golden_spec, retry_policy=FAST,
+        )
+        # One shard, dispatched twice, same content key = same dest dir.
+        assert len(transport.calls) == 2
+        assert transport.calls[0] == transport.calls[1]
+        assert report.failed == []
+        assert report.requeues >= 1
+        assert store_digests(store.root) == golden_digests
+        # Zero duplicate simulations: the merged cache sidecar holds
+        # each evaluation key exactly once despite the double merge.
+        keys = [
+            json.loads(line)["key"]
+            for line in store.eval_cache_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(keys) == len(set(keys)) == golden_spec.n_cells
+        # The telemetry rollups agree: every simulation ran exactly
+        # once across both dispatches, none served from cache twice.
+        from repro.telemetry import TelemetrySummary
+
+        summary = TelemetrySummary.from_file(store.telemetry_path)
+        assert (
+            summary.counter("campaign.simulations_executed")
+            == golden_spec.n_cells
+        )
+        assert summary.counter("campaign.cache_hits") == 0
+
+
 class TestTornTailRecovery:
     def test_torn_store_tails_heal_without_resimulation(
         self, golden_spec, golden_digests, run_backend, store_digests,

@@ -53,7 +53,9 @@ class TestBackendSelection:
         with pytest.raises(ValueError, match="unknown backend"):
             CampaignExecutor(tiny_spec(), backend="carrier-pigeon").run()
 
-    @pytest.mark.parametrize("bad", ["shard:0", "shard:x", "shard:-2"])
+    @pytest.mark.parametrize(
+        "bad", ["shard:0", "shard:x", "shard:-1", "shard:-2"]
+    )
     def test_bad_shard_count_rejected(self, bad):
         with pytest.raises(ValueError, match="shard count"):
             CampaignExecutor(tiny_spec(), backend=bad).run()

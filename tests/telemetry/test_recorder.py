@@ -269,6 +269,63 @@ class TestMergeTelemetryFiles:
         assert merge_telemetry_files(dest, src) == 1
         assert TelemetrySummary.from_file(dest).event_counts() == {"e": 1}
 
+    def test_source_id_makes_the_fold_idempotent(self, tmp_path):
+        """The twice-fetched remote shard: folding the same source file
+        again under the same id appends nothing, so counter deltas are
+        counted exactly once."""
+        src = tmp_path / "src.jsonl"
+        with JsonlRecorder(src) as rec:
+            rec.event("cell.started", cell="c1")
+            rec.count("hits", 4)
+        dest = tmp_path / "dest.jsonl"
+        assert merge_telemetry_files(dest, src, source_id="shard-00") == 2
+        assert merge_telemetry_files(dest, src, source_id="shard-00") == 0
+        summary = TelemetrySummary.from_file(dest)
+        assert summary.counter("hits") == 4
+        assert summary.event_counts() == {"cell.started": 1}
+
+    def test_source_id_folds_only_the_grown_tail(self, tmp_path):
+        """A resumed shard appends to its stream; the next fold under
+        the same id picks up only the delta past the first fold."""
+        src = tmp_path / "src.jsonl"
+        with JsonlRecorder(src) as rec:
+            rec.count("hits", 4)
+        dest = tmp_path / "dest.jsonl"
+        assert merge_telemetry_files(dest, src, source_id="shard-00") == 1
+        with JsonlRecorder(src) as rec:  # the resumed attempt appends
+            rec.count("hits", 2)
+        assert merge_telemetry_files(dest, src, source_id="shard-00") == 1
+        assert TelemetrySummary.from_file(dest).counter("hits") == 6
+
+    def test_fold_markers_stay_local_to_their_file(self, tmp_path):
+        """Markers are bookkeeping for the file they live in: a second
+        hop (shard → campaign → archive) must not copy them, or the
+        archive's own progress accounting would be corrupted."""
+        src = tmp_path / "src.jsonl"
+        with JsonlRecorder(src) as rec:
+            rec.event("e")
+        mid = tmp_path / "mid.jsonl"
+        merge_telemetry_files(mid, src, source_id="shard-00")
+        assert '"fold"' in mid.read_text()
+        archive = tmp_path / "archive.jsonl"
+        assert merge_telemetry_files(archive, mid, source_id="run-1") == 1
+        text = archive.read_text()
+        assert '"shard-00"' not in text  # src's marker not copied
+        summary = TelemetrySummary.from_file(archive)
+        assert summary.event_counts() == {"e": 1}
+
+    def test_without_source_id_merge_stays_additive(self, tmp_path):
+        """Legacy contract: no id, no markers — a re-merge re-appends
+        (callers that fold exactly once rely on plain append)."""
+        src = tmp_path / "src.jsonl"
+        with JsonlRecorder(src) as rec:
+            rec.count("hits", 4)
+        dest = tmp_path / "dest.jsonl"
+        assert merge_telemetry_files(dest, src) == 1
+        assert merge_telemetry_files(dest, src) == 1
+        assert TelemetrySummary.from_file(dest).counter("hits") == 8
+        assert '"fold"' not in dest.read_text()
+
 
 class TestNullRecorderIsDefaultEverywhere:
     def test_instrumented_call_with_telemetry_off_records_nothing(
