@@ -24,13 +24,13 @@ and writes nothing.  Full scale records the ratios in
 """
 
 import hashlib
-import os
 import statistics
 import time
 from pathlib import Path
 
 from _common import write_record
 
+from repro.utils import flags
 from repro.campaigns import (
     CampaignExecutor,
     CampaignSpec,
@@ -108,7 +108,7 @@ def _run_once(spec, backend, root) -> float:
 
 
 def test_remote_transport_overhead(emit, tmp_path):
-    quick = os.environ.get("REPRO_SCALE", "quick") == "quick"
+    quick = (flags.read_raw("REPRO_SCALE") or "quick") == "quick"
     spec = bench_spec(quick)
     reps = 3 if quick else 7
 

@@ -26,13 +26,13 @@ Quick scale (the CI smoke) asserts the ``resilient`` ratio stays within
 """
 
 import hashlib
-import os
 import statistics
 import time
 from pathlib import Path
 
 from _common import write_record
 
+from repro.utils import flags
 from repro.campaigns import CampaignExecutor, CampaignSpec, ResultStore
 from repro.campaigns.resilience import RetryPolicy
 from repro.manet import AEDBParams
@@ -94,7 +94,7 @@ def _run_once(spec, policy, root) -> float:
 
 
 def test_resilience_overhead(emit, tmp_path):
-    quick = os.environ.get("REPRO_SCALE", "quick") == "quick"
+    quick = (flags.read_raw("REPRO_SCALE") or "quick") == "quick"
     spec = bench_spec(quick)
     reps = 3 if quick else 7
 

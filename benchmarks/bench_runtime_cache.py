@@ -17,12 +17,12 @@ Scale: ``REPRO_SCALE=quick`` (CI smoke) uses fewer networks and rounds;
 any other value runs the full paper-shaped measurement.
 """
 
-import os
 import time
 from pathlib import Path
 
 from _common import write_record
 
+from repro.utils import flags
 from repro.manet import AEDBParams, clear_runtime_cache
 from repro.manet.scenarios import clear_mobility_cache
 from repro.tuning import NetworkSetEvaluator
@@ -87,7 +87,7 @@ def _baseline_vs_warm(evaluator, rounds: int) -> tuple[float, float]:
 
 
 def test_runtime_cache_speedup(emit):
-    quick = os.environ.get("REPRO_SCALE", "quick") == "quick"
+    quick = (flags.read_raw("REPRO_SCALE") or "quick") == "quick"
     n_networks = 4 if quick else 10
     rounds = 5 if quick else 11
     densities = (100, 300) if quick else (100, 200, 300)

@@ -29,6 +29,7 @@ from pathlib import Path
 
 from _common import update_record, write_record
 
+from repro.utils import flags
 from repro.manet import AEDBParams
 from repro.manet.runtime import runtime_cache_nbytes
 from repro.manet.shared import attached_runtime_count
@@ -124,7 +125,7 @@ def _measure(scenarios, n_workers: int, shared: bool) -> dict:
 
 
 def test_substrate_memory_flat_in_workers(emit):
-    quick = os.environ.get("REPRO_SCALE", "quick") == "quick"
+    quick = (flags.read_raw("REPRO_SCALE") or "quick") == "quick"
     density = 100 if quick else 300
     n_networks = 2 if quick else 10
     worker_counts = (1, 2) if quick else (1, 2, 4)
@@ -215,7 +216,7 @@ def _store_digests(root: Path) -> dict:
 
 def test_campaign_rerun_serves_everything_from_cache(emit, tmp_path):
     """Completed grid + persisted cache => re-run executes 0 simulations."""
-    quick = os.environ.get("REPRO_SCALE", "quick") == "quick"
+    quick = (flags.read_raw("REPRO_SCALE") or "quick") == "quick"
     from repro.campaigns import CampaignExecutor, CampaignSpec, ResultStore
 
     spec = CampaignSpec(

@@ -29,13 +29,13 @@ off-switch expensive" — and writes nothing.  Full scale records all
 ratios in ``BENCH_PR6.json`` at the repo root.
 """
 
-import os
 import statistics
 import time
 from pathlib import Path
 
 from _common import write_record
 
+from repro.utils import flags
 from repro.manet import AEDBParams, clear_runtime_cache
 from repro.telemetry import NULL, JsonlRecorder, using
 from repro.tuning import NetworkSetEvaluator
@@ -84,7 +84,7 @@ def _run_mode(mode, evaluator, params, monkeypatch, tmp_path, round_no):
 
 
 def test_telemetry_overhead(emit, monkeypatch, tmp_path):
-    quick = os.environ.get("REPRO_SCALE", "quick") == "quick"
+    quick = (flags.read_raw("REPRO_SCALE") or "quick") == "quick"
     clear_runtime_cache()
     evaluator = _evaluator(quick)
     params = list(PARAM_VECTORS)

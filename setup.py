@@ -33,6 +33,7 @@ class OptionalBuildExt(build_ext):
             self._fail(exc)
 
     def _fail(self, exc):
+        # repro-lint: ok E301 - build-time: runs before repro is importable
         if os.environ.get("REPRO_REQUIRE_COMPILED") == "1":
             raise
         print(
@@ -43,13 +44,31 @@ class OptionalBuildExt(build_ext):
         )
 
 
+# -ffp-contract=off: the bit-identity guarantee (DESIGN.md §14)
+# forbids FMA contraction of the a*b+c patterns in the path-loss
+# and mobility arithmetic.  Never add -ffast-math.
+_COMPILE_ARGS = ["-O2", "-ffp-contract=off"]
+_LINK_ARGS = []
+
+# REPRO_SANITIZE=address,undefined builds the extension under
+# ASan/UBSan for the CI tier2-analysis leg (DESIGN.md §16).  -O1 and
+# frame pointers keep sanitizer reports readable; the differential
+# bit-identity suite then runs against the instrumented kernel with
+# LD_PRELOAD=libasan (the interpreter itself is uninstrumented).
+# repro-lint: ok E301 - build-time: runs before repro is importable
+_SANITIZE = os.environ.get("REPRO_SANITIZE", "").strip()
+if _SANITIZE:
+    _COMPILE_ARGS = [
+        "-O1", "-g", "-fno-omit-frame-pointer", "-ffp-contract=off",
+        f"-fsanitize={_SANITIZE}",
+    ]
+    _LINK_ARGS = [f"-fsanitize={_SANITIZE}"]
+
 EVCORE = Extension(
     "repro.manet._evcore",
     sources=["src/repro/manet/_evcore.c"],
-    # -ffp-contract=off: the bit-identity guarantee (DESIGN.md §14)
-    # forbids FMA contraction of the a*b+c patterns in the path-loss
-    # and mobility arithmetic.  Never add -ffast-math.
-    extra_compile_args=["-O2", "-ffp-contract=off"],
+    extra_compile_args=_COMPILE_ARGS,
+    extra_link_args=_LINK_ARGS,
 )
 
 setup(

@@ -1,0 +1,56 @@
+"""``repro-lint``: static analysis for the repo's reproduction contracts.
+
+The invariants that make this reproduction trustworthy — bit-identical
+determinism, the JSONL torn-tail contract, the central ``REPRO_*`` flag
+registry, the zero-overhead telemetry off-switch, and the package
+layering — used to live in DESIGN.md prose and reviewers' heads.  This
+package encodes them as AST-driven rules (DESIGN.md §16) so a diff
+that violates one fails CI instead of shipping.
+
+Standard library only, and it never imports the code it analyses: run
+it on a bare checkout with ``python tools/repro_lint.py src tests``.
+
+Rule series
+-----------
+* **D1xx determinism** — wall clocks, entropy, stdlib random, unseeded
+  NumPy generators, unordered-set iteration.
+* **J2xx JSONL** — append-mode opens flow through
+  ``repro.utils.jsonl.ensure_line_boundary``.
+* **E3xx env flags** — every ``REPRO_*`` read goes through the
+  ``repro.utils.flags`` registry; every referenced name is registered.
+* **T4xx telemetry** — no allocation on the NullRecorder fast path; no
+  per-event recorder resolution in hot loops.
+* **L5xx layering** — campaigns touch manet only via blessed seams; no
+  upward imports.
+* **S6xx hygiene** — unused imports (``--fix``), reasoned coverage
+  exemptions.
+
+Suppress one finding with ``# repro-lint: ok <RULE> - <why>`` on (or
+directly above) the line.
+"""
+
+from repro.analysis.core import (
+    FileContext,
+    LintConfig,
+    Linter,
+    Rule,
+    Violation,
+    all_rules,
+    get_rule,
+    load_config,
+    main,
+    register_rule,
+)
+
+__all__ = [
+    "FileContext",
+    "LintConfig",
+    "Linter",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "load_config",
+    "main",
+    "register_rule",
+]

@@ -1,0 +1,303 @@
+"""D-series: determinism rules (DESIGN.md §16).
+
+The reproduction's core guarantee is bit-identity: the same spec and
+seeds produce the same bytes on every backend, engine, and resume path.
+That only holds while simulation state derives exclusively from the
+event clock and the seeded RNG streams.  These rules ban the ambient
+nondeterminism sources — wall clocks, process entropy, the stdlib
+``random`` globals, unseeded NumPy generators, and unordered-set
+iteration — everywhere outside the annotated wall-clock zones
+(telemetry, resilience, fault injection: layers that *observe* runs but
+never feed state back into them).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    FileContext,
+    LintConfig,
+    Rule,
+    Violation,
+    register_rule,
+)
+
+#: ``time`` module functions that read a wall clock.  ``sleep`` is
+#: absent on purpose: it wastes time but cannot leak it into state.
+WALL_CLOCK_TIME_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time",
+    "process_time_ns", "clock_gettime", "clock_gettime_ns",
+})
+WALL_CLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+#: Legacy NumPy global-state RNG entry points (np.random.<fn>).
+NUMPY_GLOBAL_RNG_FNS = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "get_state", "set_state",
+})
+
+
+def _imported_names(tree: ast.Module) -> dict[str, str]:
+    """alias -> origin ("module" or "module.name") for top-level imports."""
+    origins: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                origins[bound] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                origins[bound] = f"{node.module}.{alias.name}"
+    return origins
+
+
+def _sim_scope(ctx: FileContext) -> bool:
+    return ctx.rel.startswith("src/")
+
+
+@register_rule
+class WallClockRule(Rule):
+    """D101: no wall-clock reads outside the wall-clock zones."""
+
+    id = "D101"
+    title = "wall-clock read outside an annotated wall-clock zone"
+    rationale = (
+        "Simulation state must derive from the event clock and seeds "
+        "alone; wall-clock values leaking into results break the "
+        "bit-identity guarantee (the PR 5 event-clock drift class)."
+    )
+
+    def applies(self, ctx: FileContext, config: LintConfig) -> bool:
+        return _sim_scope(ctx) and not config.in_wall_clock_zone(ctx.rel)
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        origins = _imported_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                # time.<fn>() via "import time"
+                if (
+                    isinstance(base, ast.Name)
+                    and origins.get(base.id) == "time"
+                    and func.attr in WALL_CLOCK_TIME_FNS
+                ):
+                    yield self.violation(
+                        ctx, node,
+                        f"wall-clock read time.{func.attr}() outside a "
+                        "wall-clock zone",
+                    )
+                # datetime.now()/utcnow()/today() via class or module
+                elif func.attr in WALL_CLOCK_DATETIME_FNS and (
+                    (
+                        isinstance(base, ast.Name)
+                        and origins.get(base.id, "").startswith("datetime")
+                    )
+                    or (
+                        isinstance(base, ast.Attribute)
+                        and isinstance(base.value, ast.Name)
+                        and origins.get(base.value.id) == "datetime"
+                    )
+                ):
+                    yield self.violation(
+                        ctx, node,
+                        f"wall-clock read .{func.attr}() on a datetime "
+                        "object outside a wall-clock zone",
+                    )
+            elif isinstance(func, ast.Name):
+                origin = origins.get(func.id, "")
+                if origin.startswith("time.") and (
+                    origin.split(".", 1)[1] in WALL_CLOCK_TIME_FNS
+                ):
+                    yield self.violation(
+                        ctx, node,
+                        f"wall-clock read {origin}() outside a wall-clock "
+                        "zone",
+                    )
+
+
+@register_rule
+class StdlibRandomRule(Rule):
+    """D102: the stdlib ``random`` module is banned in ``src/``."""
+
+    id = "D102"
+    title = "stdlib random module in simulation code"
+    rationale = (
+        "All randomness flows through seeded numpy Generators "
+        "(repro.utils.rng); the stdlib global Mersenne state is "
+        "process-wide and unseedable per-stream."
+    )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield self.violation(
+                            ctx, node,
+                            "stdlib random imported; use seeded numpy "
+                            "Generators (repro.utils.rng)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.violation(
+                        ctx, node,
+                        "stdlib random imported; use seeded numpy "
+                        "Generators (repro.utils.rng)",
+                    )
+
+
+@register_rule
+class EntropyRule(Rule):
+    """D103: no ambient process entropy (urandom/secrets/uuid4)."""
+
+    id = "D103"
+    title = "ambient entropy source in simulation code"
+    rationale = (
+        "os.urandom/secrets/uuid draws differ per process and per run; "
+        "anything they touch can never replay bit-identically."
+    )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        origins = _imported_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            if not isinstance(base, ast.Name):
+                continue
+            origin = origins.get(base.id, "")
+            if origin == "os" and func.attr == "urandom":
+                yield self.violation(ctx, node, "os.urandom() is ambient "
+                                     "process entropy")
+            elif origin == "secrets":
+                yield self.violation(
+                    ctx, node,
+                    f"secrets.{func.attr}() is ambient process entropy",
+                )
+            elif origin == "uuid" and func.attr in ("uuid1", "uuid4"):
+                yield self.violation(
+                    ctx, node,
+                    f"uuid.{func.attr}() is ambient process entropy",
+                )
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """D104: no direct iteration over set displays/constructors."""
+
+    id = "D104"
+    title = "iteration over an unordered set"
+    rationale = (
+        "Set iteration order depends on insertion history and hash "
+        "seeds; feeding it into state or output makes runs "
+        "irreproducible.  Sort first (sorted(...)) or use a list/tuple."
+    )
+
+    _CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(node.iter):
+                    yield self.violation(
+                        ctx, node.iter,
+                        "for-loop over an unordered set; wrap in sorted()",
+                    )
+            elif isinstance(node, ast.comprehension):
+                if self._is_set_expr(node.iter):
+                    yield self.violation(
+                        ctx, node.iter,
+                        "comprehension over an unordered set; wrap in "
+                        "sorted()",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._CONSUMERS
+                and node.args
+                and self._is_set_expr(node.args[0])
+            ):
+                yield self.violation(
+                    ctx, node,
+                    f"{node.func.id}() over an unordered set; wrap in "
+                    "sorted()",
+                )
+
+
+@register_rule
+class UnseededRngRule(Rule):
+    """D105: every NumPy generator is explicitly seeded; no globals."""
+
+    id = "D105"
+    title = "unseeded or global-state NumPy RNG"
+    rationale = (
+        "default_rng() with no seed pulls OS entropy; np.random.<fn> "
+        "globals share mutable process state across call sites.  Every "
+        "stream must be derived from an explicit seed (repro.utils.rng)."
+    )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name == "default_rng" and not node.args and not node.keywords:
+                yield self.violation(
+                    ctx, node,
+                    "default_rng() without a seed draws OS entropy",
+                )
+                continue
+            # np.random.<legacy global>(...)
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in NUMPY_GLOBAL_RNG_FNS
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "random"
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in ("np", "numpy")
+            ):
+                yield self.violation(
+                    ctx, node,
+                    f"np.random.{func.attr}() uses global RNG state; "
+                    "use a seeded Generator",
+                )

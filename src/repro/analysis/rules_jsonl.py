@@ -1,0 +1,97 @@
+"""J-series: the JSONL append contract (DESIGN.md §16).
+
+Every JSONL file in this repo shares one torn-tail discipline: readers
+skip unparseable lines, and every *appender* first calls
+``repro.utils.jsonl.ensure_line_boundary`` so a predecessor's torn tail
+becomes an isolated junk line instead of gluing onto the new record.
+PR 7 closed that hole by hand in six writers; this rule keeps it
+closed: an append-mode ``open`` whose enclosing function never calls
+``ensure_line_boundary`` is a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    FileContext,
+    LintConfig,
+    Rule,
+    Violation,
+    register_rule,
+)
+
+
+def _append_mode(call: ast.Call, *, is_method: bool) -> bool:
+    """Whether this ``open`` call uses a literal append mode."""
+    mode_node = None
+    # builtin open(path, mode, ...) vs path.open(mode, ...)
+    pos_index = 1 if not is_method else 0
+    if len(call.args) > pos_index:
+        mode_node = call.args[pos_index]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode_node = kw.value
+    if isinstance(mode_node, ast.Constant) and isinstance(
+        mode_node.value, str
+    ):
+        return "a" in mode_node.value
+    return False
+
+
+def _calls_ensure(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name == "ensure_line_boundary":
+                return True
+    return False
+
+
+@register_rule
+class AppendBoundaryRule(Rule):
+    """J201: append-mode opens must sit behind ensure_line_boundary."""
+
+    id = "J201"
+    title = "append-mode open without ensure_line_boundary"
+    rationale = (
+        "A process killed mid-append leaves a torn final line; blindly "
+        "appending glues the next record onto the junk and loses it to "
+        "the readers' skip rule.  Call "
+        "repro.utils.jsonl.ensure_line_boundary(path) in the same "
+        "function before opening for append."
+    )
+
+    def applies(self, ctx: FileContext, config: LintConfig) -> bool:
+        return (
+            ctx.rel.startswith("src/") and ctx.rel != config.jsonl_module
+        )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                if not _append_mode(node, is_method=False):
+                    continue
+            elif isinstance(func, ast.Attribute) and func.attr == "open":
+                if not _append_mode(node, is_method=True):
+                    continue
+            else:
+                continue
+            scope = ctx.enclosing_function(node) or ctx.tree
+            if not _calls_ensure(scope):
+                yield self.violation(
+                    ctx, node,
+                    "append-mode open with no ensure_line_boundary call "
+                    "in the enclosing function (torn-tail contract)",
+                )

@@ -1,0 +1,115 @@
+"""L-series: package layering rules (DESIGN.md §16).
+
+The dependency order that keeps the reproduction auditable:
+
+    utils  <  telemetry  <  manet  <  {tuning, campaigns, ...}  <  cli
+
+``campaigns/`` in particular may reach ``manet/`` only through the
+evaluator/runtime seams (the types a campaign cell serialises and the
+runtime-attachment entry points) — never the event queue, medium, or
+protocol internals, whose APIs are free to change under the
+bit-identity discipline without a campaign-layer audit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    FileContext,
+    LintConfig,
+    Rule,
+    Violation,
+    register_rule,
+)
+
+
+def _imports(tree: ast.Module):
+    """(node, dotted-module) pairs for every import statement."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            # Relative imports resolve against the package elsewhere;
+            # this repo uses absolute imports throughout (enforced by
+            # the hit below when someone strays).
+            yield node, node.module
+
+
+@register_rule
+class CampaignManetSeamRule(Rule):
+    """L501: campaigns -> manet only via the evaluator/runtime seams."""
+
+    id = "L501"
+    title = "campaigns/ importing manet/ off the blessed seams"
+    rationale = (
+        "Campaign code serialises cells and attaches runtimes; if it "
+        "reaches into the event queue, medium, or protocol internals, "
+        "every kernel-level refactor becomes a campaign audit.  The "
+        "seam list lives in LintConfig.campaign_manet_seams."
+    )
+
+    def applies(self, ctx: FileContext, config: LintConfig) -> bool:
+        return ctx.rel.startswith("src/repro/campaigns/")
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        seams = set(config.campaign_manet_seams)
+        for node, module in _imports(ctx.tree):
+            if not (module == "repro.manet"
+                    or module.startswith("repro.manet.")):
+                continue
+            if module == "repro.manet" or module not in seams:
+                yield self.violation(
+                    ctx, node,
+                    f"import of {module}; campaigns may only use the "
+                    "evaluator/runtime seams "
+                    f"({', '.join(sorted(seams))})",
+                )
+
+
+@register_rule
+class UpwardImportRule(Rule):
+    """L502: no lower layer imports a higher one."""
+
+    id = "L502"
+    title = "upward import across the layer order"
+    rationale = (
+        "utils < telemetry < manet < everything else: an upward edge "
+        "makes the observation layer load simulation code (or the "
+        "kernel load campaign code) and turns the import graph "
+        "cyclic.  The order lives in LintConfig.upward_imports."
+    )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        module = ctx.module
+        for prefix, forbidden in config.upward_imports.items():
+            if not (module == prefix or module.startswith(prefix + ".")):
+                continue
+            allowed = config.upward_allowed.get(prefix, [])
+            for node, imported in _imports(ctx.tree):
+                for bad in forbidden:
+                    bad_hit = imported == bad.rstrip(".") or (
+                        imported.startswith(bad)
+                        if bad.endswith(".")
+                        else imported.startswith(bad + ".")
+                    )
+                    if not bad_hit:
+                        continue
+                    if any(
+                        imported == ok or imported.startswith(ok + ".")
+                        for ok in allowed
+                    ):
+                        continue
+                    yield self.violation(
+                        ctx, node,
+                        f"{module} (layer {prefix}) imports {imported}: "
+                        "upward dependency",
+                    )
+                    break
+            break

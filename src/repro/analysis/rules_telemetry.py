@@ -1,0 +1,194 @@
+"""T-series: the telemetry fast-path contract (DESIGN.md §12, §16).
+
+``REPRO_TELEMETRY`` unset means the :class:`NullRecorder` — and the
+whole point of the null recorder is that instrumented code pays
+*nothing* when nobody is listening.  That breaks the moment a call
+site formats strings into the call (the f-string is built before the
+no-op method ever runs) or re-resolves the recorder per event inside a
+hot loop.  These rules pin the discipline the PR 6 benchmark gate
+(≤5 % null overhead) measures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    FileContext,
+    LintConfig,
+    Rule,
+    Violation,
+    register_rule,
+)
+
+#: The Recorder protocol's verb set (DESIGN.md §12).
+TELEMETRY_VERBS = frozenset({"span", "record_span", "count", "gauge",
+                             "event"})
+
+#: Receiver spellings we treat as "a recorder" for verb calls.  The
+#: heuristic is deliberately narrow — `somelist.count(x)` must never
+#: trip it — so it keys on the repo's naming convention plus the
+#: get_recorder() seam.
+_RECORDER_NAMES = frozenset({"rec", "recorder", "_rec", "_recorder"})
+
+
+def _is_recorder_receiver(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _RECORDER_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _RECORDER_NAMES
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name == "get_recorder"
+    return False
+
+
+def _telemetry_call(node: ast.Call) -> str | None:
+    """The verb name when ``node`` is a recorder verb call."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in TELEMETRY_VERBS
+        and _is_recorder_receiver(func.value)
+    ):
+        return func.attr
+    return None
+
+
+def _is_string_formatting(node: ast.AST) -> bool:
+    """f-string / %-format / .format() / literal concatenation."""
+    if isinstance(node, ast.JoinedStr):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Mod)
+    ):
+        for side in (node.left, node.right):
+            if isinstance(side, ast.Constant) and isinstance(
+                side.value, str
+            ):
+                return True
+            if isinstance(side, ast.JoinedStr):
+                return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "format"
+        and isinstance(node.func.value, ast.Constant)
+        and isinstance(node.func.value.value, str)
+    ):
+        return True
+    return False
+
+
+@register_rule
+class TelemetryFormattingRule(Rule):
+    """T401: no string formatting inside telemetry call arguments."""
+
+    id = "T401"
+    title = "string formatting in a telemetry call argument"
+    rationale = (
+        "Arguments are evaluated before the NullRecorder's no-op body "
+        "runs, so an f-string name or attribute allocates on every "
+        "call even with telemetry off — exactly what the ≤5 % null "
+        "overhead gate exists to prevent.  Metric names must be plain "
+        "literals (bounded cardinality); dynamic values belong in "
+        "attrs as raw values, not formatted strings."
+    )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            verb = _telemetry_call(node)
+            if verb is None:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _is_string_formatting(arg):
+                    yield self.violation(
+                        ctx, arg,
+                        f"string formatting in .{verb}() argument runs "
+                        "even when telemetry is off; pass literals/raw "
+                        "values",
+                    )
+
+
+@register_rule
+class RecorderResolveInLoopRule(Rule):
+    """T402: ``get_recorder()`` is hoisted out of loops."""
+
+    id = "T402"
+    title = "get_recorder() resolved inside a loop"
+    rationale = (
+        "Registry resolution is a per-operation cost; inside a hot "
+        "loop it turns the off-switch into a dict probe per event.  "
+        "Capture the recorder once before the loop."
+    )
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name != "get_recorder":
+                continue
+            for anc in ctx.ancestors(node):
+                if isinstance(anc, (ast.For, ast.AsyncFor, ast.While)):
+                    yield self.violation(
+                        ctx, node,
+                        "get_recorder() inside a loop; hoist it out and "
+                        "reuse the handle",
+                    )
+                    break
+                if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break  # nested defs inside loops are fresh scopes
+
+
+@register_rule
+class HotLoopCounterRule(Rule):
+    """T403: no recorder verb calls inside manet/ loop bodies."""
+
+    id = "T403"
+    title = "telemetry verb call inside a hot-layer loop"
+    rationale = (
+        "The event core's inner loops run millions of iterations; the "
+        "sanctioned pattern (DESIGN.md §12) is a plain int counter in "
+        "the loop, shipped through .count() once per run.  Per-event "
+        "recorder calls pay the protocol dispatch even when off."
+    )
+
+    def applies(self, ctx: FileContext, config: LintConfig) -> bool:
+        return ctx.rel.startswith("src/repro/manet/")
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            verb = _telemetry_call(node)
+            if verb is None:
+                continue
+            for anc in ctx.ancestors(node):
+                if isinstance(anc, (ast.For, ast.AsyncFor, ast.While)):
+                    yield self.violation(
+                        ctx, node,
+                        f".{verb}() inside a hot-layer loop; keep a "
+                        "plain counter and ship it once per run",
+                    )
+                    break
+                if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break

@@ -49,6 +49,8 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.utils import flags
+
 __all__ = [
     "InjectedFault",
     "FaultRule",
@@ -193,6 +195,7 @@ class FaultPlane:
                 continue
             if not self._count_fire(index, cell_key, rule.max_attempt):
                 continue
+            # repro-lint: ok J201 - this *is* the torn-tail injector
             with open(path, "a", encoding="utf-8") as fh:
                 fh.write(TORN_JUNK)
             return True
@@ -206,7 +209,7 @@ _planes: dict[str, FaultPlane] = {}
 
 def active_plane() -> FaultPlane | None:
     """The plane for the current ``REPRO_FAULTS`` value (None = unset)."""
-    spec = os.environ.get(FAULTS_ENV)
+    spec = flags.read_raw(FAULTS_ENV)
     if not spec:
         return None
     plane = _planes.get(spec)

@@ -51,6 +51,7 @@ from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.utils import flags
 from repro.utils.jsonl import ensure_line_boundary
 
 __all__ = [
@@ -625,13 +626,10 @@ def maybe_heartbeat(cell: str):
     exported cadence; otherwise a shared no-op — two env lookups per
     job, nothing else.
     """
-    directory = os.environ.get(HEARTBEAT_DIR_ENV)
+    directory = flags.read_raw(HEARTBEAT_DIR_ENV)
     if not directory:
         return nullcontext()
-    try:
-        interval = float(os.environ.get(HEARTBEAT_INTERVAL_ENV, "1.0"))
-    except ValueError:
-        interval = 1.0
+    interval = flags.read_float(HEARTBEAT_INTERVAL_ENV, 1.0)
     sink = _worker_sink(directory)
     return _HeartbeatThread(interval, lambda: sink.emit(cell))
 
@@ -750,11 +748,13 @@ class HeartbeatMonitor:
 def heartbeat_env(directory: str | Path, interval_s: float):
     """Export the worker heartbeat env around a pool's lifetime."""
     previous = {
-        HEARTBEAT_DIR_ENV: os.environ.get(HEARTBEAT_DIR_ENV),
-        HEARTBEAT_INTERVAL_ENV: os.environ.get(HEARTBEAT_INTERVAL_ENV),
+        HEARTBEAT_DIR_ENV: flags.read_raw(HEARTBEAT_DIR_ENV),
+        HEARTBEAT_INTERVAL_ENV: flags.read_raw(HEARTBEAT_INTERVAL_ENV),
     }
-    os.environ[HEARTBEAT_DIR_ENV] = str(directory)
-    os.environ[HEARTBEAT_INTERVAL_ENV] = repr(float(interval_s))
+    # The blessed propagation seam: exports the heartbeat env to
+    # forked pool workers, restored on exit below.
+    os.environ[HEARTBEAT_DIR_ENV] = str(directory)  # repro-lint: ok E303
+    os.environ[HEARTBEAT_INTERVAL_ENV] = repr(float(interval_s))  # repro-lint: ok E303
     try:
         yield
     finally:

@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.campaigns.spec import CampaignCell, CampaignSpec, canonical_json
+from repro.utils import flags
 from repro.utils.jsonl import ensure_line_boundary
 
 __all__ = ["ResultStore", "CampaignStatus", "MergeConflictError", "MergeReport"]
@@ -208,7 +209,7 @@ class ResultStore:
         path = self.cell_path(cell)
         path.parent.mkdir(parents=True, exist_ok=True)
         self._write_atomic(path, "\n".join(lines) + "\n")
-        if os.environ.get("REPRO_FAULTS"):
+        if flags.read_raw("REPRO_FAULTS"):
             # Chaos-only hook: simulate a crash mid-append after the
             # atomic write (DESIGN.md §13).  Unreachable in production.
             from repro.campaigns import faults

@@ -189,7 +189,7 @@ class ThreadEngine:
                 per_population[p] = run_population_threaded(
                     problem, config, p, port, factory
                 )
-            except BaseException as exc:  # pragma: no cover
+            except BaseException as exc:  # pragma: no cover - defensive
                 errors.append(exc)
 
         runners = [

@@ -57,9 +57,10 @@ class AEDBMLS:
     def run(self) -> AlgorithmResult:
         """Execute the configured engine; return the archive as a front."""
         engine = ENGINES[self.config.engine]()
+        # repro-lint: ok D101 - observational runtime, reported only
         start = time.perf_counter()
         members, stats = engine.run(self.problem, self.config, seed=self.seed)
-        runtime = time.perf_counter() - start
+        runtime = time.perf_counter() - start  # repro-lint: ok D101
         front = non_dominated(members)
         info = {
             "config": self.config,

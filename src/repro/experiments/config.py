@@ -21,11 +21,11 @@ which preset produced the recorded numbers.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
 from repro.core.config import MLSConfig
 from repro.manet.scenarios import PAPER_DENSITIES
+from repro.utils import flags
 
 __all__ = ["ExperimentScale", "get_scale", "SCALES"]
 
@@ -126,7 +126,7 @@ SCALES: dict[str, ExperimentScale] = {
 
 def get_scale(name: str | None = None) -> ExperimentScale:
     """Resolve a preset: explicit name > ``REPRO_SCALE`` env > ``quick``."""
-    key = (name or os.environ.get("REPRO_SCALE", "quick")).lower()
+    key = (name or flags.read_raw("REPRO_SCALE") or "quick").lower()
     if key not in SCALES:
         raise ValueError(
             f"unknown scale {key!r}; choose from {sorted(SCALES)}"

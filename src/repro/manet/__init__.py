@@ -43,13 +43,8 @@ from repro.manet.config import (
     RadioConfig,
     SimulationConfig,
 )
+from repro.manet.events import make_event_queue
 from repro.manet.metrics import BroadcastMetrics
-from repro.manet.scenarios import (
-    MOBILITY_MODELS,
-    NetworkScenario,
-    make_scenarios,
-    nodes_for_density,
-)
 from repro.manet.runtime import (
     ScenarioRuntime,
     clear_runtime_cache,
@@ -58,6 +53,12 @@ from repro.manet.runtime import (
     runtime_cache_size,
     set_runtime_memoisation,
 )
+from repro.manet.scenarios import (
+    MOBILITY_MODELS,
+    NetworkScenario,
+    make_scenarios,
+    nodes_for_density,
+)
 from repro.manet.shared import (
     SharedRuntimeArena,
     SharedRuntimeHandle,
@@ -65,7 +66,6 @@ from repro.manet.shared import (
     set_shared_runtimes,
     shared_runtimes_enabled,
 )
-from repro.manet.events import make_event_queue
 from repro.manet.simulator import BroadcastSimulator, simulate_broadcast
 
 __all__ = [

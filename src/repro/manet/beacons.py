@@ -25,7 +25,6 @@ bit-identical either way (DESIGN.md §8).
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -34,6 +33,7 @@ from repro.manet.config import RadioConfig, SimulationConfig
 from repro.manet.geometry import pairwise_distances
 from repro.manet.mobility import MobilityModel
 from repro.manet.propagation import build_path_loss
+from repro.utils import flags
 from repro.utils.units import DBM_MINUS_INF
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -64,7 +64,7 @@ def live_index_enabled() -> bool:
     honour the parent's setting) — the ablation knob of
     ``benchmarks/bench_protocol_path.py`` and the identity tests.
     """
-    return os.environ.get("REPRO_LIVE_INDEX", "1") != "0"
+    return flags.read_bool("REPRO_LIVE_INDEX")
 
 
 class NeighborTables:

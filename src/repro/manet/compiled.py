@@ -31,10 +31,11 @@ human-readable reason.
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro.utils import flags
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.manet.simulator import BroadcastSimulator
@@ -61,7 +62,7 @@ def resolve_compiled_mode(override=None) -> str:
     ``on``/``off``; a string names a mode directly.
     """
     if override is None:
-        mode = os.environ.get("REPRO_COMPILED", "auto").strip().lower() or "auto"
+        mode = (flags.read_raw("REPRO_COMPILED") or "auto").strip().lower() or "auto"
     elif isinstance(override, str):
         mode = override.strip().lower()
     else:

@@ -30,7 +30,6 @@ delivery callback.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -40,6 +39,7 @@ from repro.manet.config import RadioConfig
 from repro.manet.events import EventQueue
 from repro.manet.mobility import MobilityModel
 from repro.manet.propagation import LogDistancePathLoss, build_path_loss
+from repro.utils import flags
 from repro.utils.units import dbm_to_mw
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -87,7 +87,7 @@ def batched_deliveries_enabled() -> bool:
     campaign workers honour the parent's setting) — the ablation knob of
     ``benchmarks/bench_protocol_path.py`` and the identity tests.
     """
-    return os.environ.get("REPRO_BATCH_DELIVERIES", "1") != "0"
+    return flags.read_bool("REPRO_BATCH_DELIVERIES")
 
 
 class RadioMedium:

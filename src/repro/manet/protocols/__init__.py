@@ -21,6 +21,12 @@ forwardings, broadcast time).
 """
 
 from repro.manet.protocols.base import BroadcastProtocol, NodePhase, ProtocolContext
+from repro.manet.protocols.compare import (
+    ProtocolComparison,
+    ProtocolOutcome,
+    compare_protocols,
+    standard_protocol_suite,
+)
 from repro.manet.protocols.counter import CounterBasedProtocol
 from repro.manet.protocols.distance import DistanceBasedProtocol
 from repro.manet.protocols.flooding import FloodingProtocol
@@ -29,12 +35,6 @@ from repro.manet.protocols.runner import (
     ProtocolSimulator,
     aedb_protocol,
     simulate_protocol,
-)
-from repro.manet.protocols.compare import (
-    ProtocolComparison,
-    ProtocolOutcome,
-    compare_protocols,
-    standard_protocol_suite,
 )
 
 __all__ = [

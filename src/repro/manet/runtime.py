@@ -68,7 +68,6 @@ runtime-backed run are bit-identical to the recompute path
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 
@@ -80,6 +79,7 @@ from repro.manet.mobility import MobilityModel
 from repro.manet.propagation import build_path_loss
 from repro.manet.scenarios import NetworkScenario
 from repro.telemetry import get_recorder
+from repro.utils import flags
 from repro.utils.units import DBM_MINUS_INF
 
 __all__ = [
@@ -682,7 +682,7 @@ class ScenarioRuntime:
 _RUNTIME_MEMO: OrderedDict[NetworkScenario, ScenarioRuntime] = OrderedDict()
 _MEMO_MAX_ENTRIES = 32
 _MEMO_LOCK = threading.Lock()
-_MEMO_ENABLED = os.environ.get("REPRO_RUNTIME_MEMO", "1") != "0"
+_MEMO_ENABLED = flags.read_bool("REPRO_RUNTIME_MEMO")
 
 
 def get_runtime(scenario: NetworkScenario) -> ScenarioRuntime | None:

@@ -26,7 +26,6 @@ runs with :func:`set_mobility_memoisation` or ``REPRO_MOBILITY_MEMO=0``.
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -41,6 +40,7 @@ from repro.manet.mobility import (
     RandomWalkMobility,
     RandomWaypointMobility,
 )
+from repro.utils import flags
 from repro.utils.rng import RngFactory
 
 __all__ = [
@@ -89,7 +89,7 @@ def nodes_for_density(density_per_km2: float, area_side_m: float = 500.0) -> int
 _MOBILITY_MEMO: OrderedDict["NetworkScenario", MobilityModel] = OrderedDict()
 _MEMO_MAX_ENTRIES = 128
 _MEMO_LOCK = threading.Lock()
-_MEMO_ENABLED = os.environ.get("REPRO_MOBILITY_MEMO", "1") != "0"
+_MEMO_ENABLED = flags.read_bool("REPRO_MOBILITY_MEMO")
 
 
 def set_mobility_memoisation(enabled: bool) -> None:

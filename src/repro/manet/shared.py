@@ -66,7 +66,6 @@ Usage (what the pooled evaluators and the campaign executor do)::
 
 from __future__ import annotations
 
-import os
 import secrets
 import threading
 import weakref
@@ -83,6 +82,7 @@ from repro.manet.runtime import (
     runtime_memoisation_enabled,
 )
 from repro.manet.scenarios import NetworkScenario
+from repro.utils import flags
 
 __all__ = [
     "SEGMENT_PREFIX",
@@ -99,7 +99,7 @@ __all__ = [
 #: audit ``/dev/shm`` for leaks attributable to this package.
 SEGMENT_PREFIX = "repro-aedb-rt"
 
-_ENABLED = os.environ.get("REPRO_SHARED_RUNTIME", "1") != "0"
+_ENABLED = flags.read_bool("REPRO_SHARED_RUNTIME")
 
 _FLOAT = np.dtype(np.float64)
 _INT = np.dtype(np.int64)
@@ -275,6 +275,9 @@ class SharedRuntimeArena:
             # up to ~10^8 segments; the random token (not the pid) makes
             # the name unique, so a collision with a crashed process's
             # leftover just redraws.
+            # Segment *names* need cross-process uniqueness only; they
+            # never feed simulation state.
+            # repro-lint: ok D103 - shm name, not simulation state
             name = f"{SEGMENT_PREFIX}-{secrets.token_hex(4)}-{seq:x}"
             try:
                 shm = shared_memory.SharedMemory(

@@ -87,11 +87,12 @@ class EvolutionaryAlgorithm:
     # ------------------------------------------------------------------ #
     def run(self) -> AlgorithmResult:
         """Execute until the evaluation budget is exhausted."""
+        # repro-lint: ok D101 - observational runtime, reported only
         start = time.perf_counter()
         self._initialise()
         while self.budget_left > 0:
             self._step()
-        runtime = time.perf_counter() - start
+        runtime = time.perf_counter() - start  # repro-lint: ok D101
         front = non_dominated(self._current_front())
         return AlgorithmResult(
             front=[s.copy() for s in front],

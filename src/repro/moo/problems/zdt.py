@@ -115,7 +115,7 @@ class ZDT3(_ZDT):
         f2 = 1.0 - np.sqrt(f1) - f1 * np.sin(10.0 * np.pi * f1)
         return np.column_stack([f1, f2])
 
-    def _front_f2(self, f1: np.ndarray) -> np.ndarray:  # pragma: no cover
+    def _front_f2(self, f1: np.ndarray) -> np.ndarray:
         return 1.0 - np.sqrt(f1) - f1 * np.sin(10.0 * np.pi * f1)
 
 
@@ -163,5 +163,5 @@ class ZDT6(_ZDT):
         f1 = np.linspace(0.2807753191, 1.0, n)
         return np.column_stack([f1, 1.0 - f1**2])
 
-    def _front_f2(self, f1: np.ndarray) -> np.ndarray:  # pragma: no cover
+    def _front_f2(self, f1: np.ndarray) -> np.ndarray:
         return 1.0 - f1**2

@@ -14,12 +14,12 @@
   trend probes into the arrows/flags of the paper's Table I.
 """
 
-from repro.sensitivity.fast import Fast99Result, fast99_indices, fast99_sample
 from repro.sensitivity.analysis import (
     SENSITIVITY_RANGES,
     AEDBSensitivityStudy,
     ObjectiveSensitivity,
 )
+from repro.sensitivity.fast import Fast99Result, fast99_indices, fast99_sample
 from repro.sensitivity.morris import MorrisResult, morris_indices
 from repro.sensitivity.sobol import (
     SobolResult,

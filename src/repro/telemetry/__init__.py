@@ -18,6 +18,7 @@ stores are byte-identical with telemetry off, on, and deep
 (``tests/telemetry/test_bit_identity.py``).
 """
 
+from repro.telemetry.prom import to_prometheus
 from repro.telemetry.recorder import (
     MODE_DEEP,
     MODE_OFF,
@@ -34,7 +35,6 @@ from repro.telemetry.recorder import (
     telemetry_mode,
     using,
 )
-from repro.telemetry.prom import to_prometheus
 from repro.telemetry.summary import (
     SpanStat,
     TelemetrySummary,

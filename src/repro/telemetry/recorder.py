@@ -32,13 +32,13 @@ campaign stores byte-identical with telemetry off, on, and deep
 from __future__ import annotations
 
 import json
-import os
 import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Iterable, Iterator, Protocol, runtime_checkable
 
+from repro.utils import flags
 from repro.utils.jsonl import ensure_line_boundary
 
 __all__ = [
@@ -76,7 +76,7 @@ def telemetry_mode() -> str:
     the same contract as ``batched_deliveries_enabled``.  Any value that
     is not off-like or ``deep`` (``1``, ``on``, ``jsonl``, ...) means on.
     """
-    raw = os.environ.get("REPRO_TELEMETRY", "").strip().lower()
+    raw = (flags.read_raw("REPRO_TELEMETRY") or "").strip().lower()
     if raw in _OFF_VALUES:
         return MODE_OFF
     if raw == MODE_DEEP:

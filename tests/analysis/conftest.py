@@ -1,0 +1,51 @@
+"""Fixtures for the repro-lint suite.
+
+Every rule test builds a throwaway repo under ``tmp_path`` that mimics
+the real layout (``src/repro/...``), because the rules scope themselves
+by repo-relative path (wall-clock zones, the flags module, the
+campaigns/ prefix).  The ``lint_tree`` helper writes the files, points a
+:class:`Linter` at the fake root, and returns the violations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Linter
+
+#: A minimal flags registry for E302 fixtures: the rule recovers names
+#: by AST-parsing register() calls, so a stub with the right shape is
+#: all the fake repo needs.
+MINI_FLAGS = '''\
+"""Stub flag registry (shape-compatible with repro.utils.flags)."""
+
+
+def register(name, **kwargs):
+    return name
+
+
+register("REPRO_GOOD", values="0|1", default="0", doc="d", anchor="a")
+register("REPRO_OTHER", values="0|1", default="0", doc="d", anchor="a")
+'''
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``files`` under tmp_path, lint them, return violations."""
+
+    def _run(files, select=None, paths=None, fix=False, with_flags=False):
+        if with_flags:
+            files = dict(files)
+            files.setdefault("src/repro/utils/flags.py", MINI_FLAGS)
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        linter = Linter(tmp_path, select=select)
+        targets = [Path(p) for p in paths] if paths else [tmp_path]
+        return linter.run(targets, fix=fix)
+
+    _run.root = tmp_path
+    return _run

@@ -1,0 +1,206 @@
+"""Framework mechanics: pragmas, config overrides, baselines, the CLI.
+
+The rules themselves are covered in test_rules.py; this module pins the
+machinery they all share — suppression comments, ``.repro-lint.toml``
+merging, baseline round-trips, and the exit-code contract of
+``tools/repro_lint.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Linter, all_rules, get_rule, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+RANDOM_IMPORT = "import random\n"
+
+
+def _write(root, rel, source):
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+class TestRegistry:
+    def test_all_series_registered(self):
+        ids = {rule.id for rule in all_rules()}
+        assert {"D101", "D102", "D103", "D104", "D105"} <= ids
+        assert {"J201"} <= ids
+        assert {"E301", "E302", "E303"} <= ids
+        assert {"T401", "T402", "T403"} <= ids
+        assert {"L501", "L502"} <= ids
+        assert {"S601", "S602"} <= ids
+
+    def test_every_rule_documents_itself(self):
+        for rule in all_rules():
+            assert rule.title, rule.id
+            assert rule.rationale, rule.id
+
+    def test_get_rule_unknown(self):
+        with pytest.raises(KeyError):
+            get_rule("Z999")
+
+    def test_unknown_select_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            Linter(tmp_path, select=["Z999"])
+
+
+class TestPragmas:
+    def test_trailing_ok_pragma_suppresses(self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/a.py": (
+                "import random  # repro-lint: ok D102 - test fixture\n"
+            ),
+        }, select=["D102"])
+        assert result.violations == []
+
+    def test_pragma_is_rule_specific(self, lint_tree):
+        # An ok-pragma for one rule does not silence another on the
+        # same line.
+        result = lint_tree({
+            "src/repro/core/a.py": (
+                "import random  # repro-lint: ok D101\n"
+            ),
+        }, select=["D102"])
+        assert [v.rule for v in result.violations] == ["D102"]
+
+    def test_pragma_multiple_rules(self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/a.py": (
+                "import os, uuid\n\n\ndef f():\n"
+                "    return os.urandom(4), uuid.uuid4()"
+                "  # repro-lint: ok D103,E401\n"
+            ),
+        }, select=["D103"])
+        assert result.violations == []
+
+    def test_standalone_pragma_covers_next_line_only(self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/a.py": (
+                "# repro-lint: ok D102 - fixture\n"
+                "import random\n"
+                "import random as rng2\n"
+            ),
+        }, select=["D102"])
+        # Line 2 is covered, line 3 is not.
+        assert [v.line for v in result.violations] == [3]
+
+    def test_skip_file_pragma(self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/a.py": (
+                "# repro-lint: skip-file - generated fixture\n"
+                "import random\n"
+            ),
+        }, select=["D102"])
+        assert result.violations == []
+
+
+class TestConfig:
+    def test_toml_overrides_wall_clock_zones(self, tmp_path):
+        source = "import time\n\n\ndef f():\n    return time.time()\n"
+        _write(tmp_path, "src/repro/core/timedep.py", source)
+        _write(tmp_path, ".repro-lint.toml", (
+            '["repro-lint"]\n'
+            'wall_clock_zones = ["src/repro/core/"]\n'
+        ))
+        result = Linter(tmp_path, select=["D101"]).run([tmp_path])
+        assert result.violations == []
+
+    def test_defaults_used_without_toml(self, tmp_path):
+        source = "import time\n\n\ndef f():\n    return time.time()\n"
+        _write(tmp_path, "src/repro/core/timedep.py", source)
+        result = Linter(tmp_path, select=["D101"]).run([tmp_path])
+        assert [v.rule for v in result.violations] == ["D101"]
+
+    def test_syntax_error_reported_not_fatal(self, tmp_path):
+        _write(tmp_path, "src/repro/core/broken.py", "def f(:\n")
+        _write(tmp_path, "src/repro/core/fine.py", "import random\n")
+        result = Linter(tmp_path, select=["D102"]).run([tmp_path])
+        assert len(result.errors) == 1
+        assert "broken.py" in result.errors[0]
+        assert [v.rule for v in result.violations] == ["D102"]
+
+
+class TestViolationShape:
+    def test_render_and_fingerprint(self, lint_tree):
+        result = lint_tree({
+            "src/repro/core/a.py": RANDOM_IMPORT,
+        }, select=["D102"])
+        v = result.violations[0]
+        rendered = v.render()
+        assert "src/repro/core/a.py:1" in rendered
+        assert "D102" in rendered
+        assert v.fingerprint().startswith("D102:src/repro/core/a.py:")
+        payload = v.as_json()
+        assert payload["rule"] == "D102"
+        assert payload["line"] == 1
+
+
+class TestCli:
+    def _seed(self, tmp_path):
+        _write(tmp_path, "src/repro/core/a.py", RANDOM_IMPORT)
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/core/a.py", "X = 1\n")
+        assert main(["--root", str(tmp_path), "src"]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_exit_one_with_rule_and_location(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert main(["--root", str(tmp_path), "src"]) == 1
+        out = capsys.readouterr().out
+        assert "D102" in out
+        assert "src/repro/core/a.py:1" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert main(["--root", str(tmp_path), "--json", "src"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"][0]["rule"] == "D102"
+        assert payload["files_checked"] == 1
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        code = main(["--root", str(tmp_path), "--select", "Z999", "src"])
+        assert code == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.id in out
+
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "--root", str(tmp_path),
+            "--write-baseline", str(baseline), "src",
+        ]) == 0
+        capsys.readouterr()
+        # The recorded violation is now accepted ...
+        assert main([
+            "--root", str(tmp_path), "--baseline", str(baseline), "src",
+        ]) == 0
+        capsys.readouterr()
+        # ... but a new one still fails the run.
+        _write(tmp_path, "src/repro/core/b.py", RANDOM_IMPORT)
+        assert main([
+            "--root", str(tmp_path), "--baseline", str(baseline), "src",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "b.py" in out
+        assert "a.py" not in out
+
+    def test_checked_in_baseline_is_empty(self):
+        # The repo's own baseline must stay empty: new violations are
+        # fixed or pragma'd with a reason, never baselined away.
+        baseline = REPO_ROOT / "tools" / "repro_lint_baseline.json"
+        payload = json.loads(baseline.read_text())
+        assert payload["fingerprints"] == []

@@ -34,3 +34,35 @@ def test_slug_rules_match_github():
         "9-shared-memory-runtimes--persistent-evaluation-cache"
     )
     assert check_docs.github_slug("## not a heading") != ""
+
+
+def test_readme_flag_table_matches_registry():
+    # The README "Environment flags" table is generated from the
+    # registry; regenerate and require a verbatim match so adding a
+    # flag without re-rendering the table fails here.
+    from repro.utils import flags
+
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert flags.registry_table_markdown() in readme
+
+
+def test_every_repro_flag_in_tree_is_registered():
+    # Any REPRO_* name mentioned anywhere under src/ must exist in the
+    # registry — a typo'd flag name fails here, not silently at run
+    # time.  (repro-lint E302 checks read sites; this sweeps docs,
+    # strings, and comments too.)
+    import re
+
+    from repro.utils import flags
+
+    registered = {f.name for f in flags.all_flags()}
+    # Deliberate non-flags in prose: the registry docstring's typo
+    # illustration and the placeholder name in rule commentary.
+    registered |= {"REPRO_TELEMTRY", "REPRO_X"}
+    pattern = re.compile(r"\bREPRO_[A-Z0-9_]+\b")
+    unknown = {}
+    for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+        for name in pattern.findall(path.read_text(encoding="utf-8")):
+            if name not in registered:
+                unknown.setdefault(name, path.name)
+    assert unknown == {}

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Entry point for ``repro-lint`` (DESIGN.md §16).
+
+Usage::
+
+    python tools/repro_lint.py [paths...] [--json] [--fix] [--select IDS]
+    python tools/repro_lint.py --list-rules
+
+Exit status: 0 clean, 1 violations, 2 usage or parse errors.  Standard
+library only — runs on a bare checkout before any dependency install.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import main  # noqa: E402  (path bootstrap above)
+
+if __name__ == "__main__":
+    raise SystemExit(main())
